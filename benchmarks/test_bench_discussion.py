@@ -1,0 +1,31 @@
+"""Benchmarks for the Section VIII discussion studies (ablation-style extras)."""
+
+from conftest import run_and_record
+
+
+def test_disc_replacement_policy(benchmark, experiment_config):
+    result = run_and_record(benchmark, "disc_replacement_policy", experiment_config)
+    pinned = [row["speedup_pinned"] for row in result.rows]
+    lru = [row["speedup_lru"] for row in result.rows]
+    # The paper's conclusion: statically pinning the high-degree nodes is the
+    # more robust policy on average.
+    assert sum(pinned) / len(pinned) >= sum(lru) / len(lru) * 0.95
+
+
+def test_disc_nonpowerlaw(benchmark, experiment_config):
+    result = run_and_record(benchmark, "disc_nonpowerlaw", experiment_config)
+    by_graph = {row["graph"]: row for row in result.rows}
+    uniform = by_graph["uniform (erdos-renyi)"]
+    powerlaw = by_graph["power-law (pokec)"]
+    # HDN caching relies on the power-law skew; without it the hit rate drops.
+    assert uniform["hdn_hit_rate"] <= powerlaw["hdn_hit_rate"] + 0.05
+    # GROW still runs correctly on the non-power-law graph.
+    assert uniform["speedup_over_gcnax"] > 0
+
+
+def test_disc_aggregator_support(benchmark, experiment_config):
+    result = run_and_record(benchmark, "disc_aggregator_support", experiment_config)
+    by_name = {row["aggregator"]: row for row in result.rows}
+    # The paper's quoted overheads: 1.4% for pooling, 1.7% for attention.
+    assert by_name["sage_pool"]["area_overhead"] == 0.014
+    assert by_name["gat"]["area_overhead"] == 0.017

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 17: HDN cache hit rate with/without partitioning."""
+
+from repro.graph.datasets import LARGE_DATASETS, SMALL_DATASETS
+
+from conftest import run_and_record
+
+
+def test_fig17_hdn_hit_rate(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig17_hdn_hit_rate", experiment_config)
+    by_dataset = {row["dataset"]: row for row in result.rows}
+    # Small graphs fit the HDN cache, so hit rates are high either way.
+    for name in SMALL_DATASETS:
+        if name in by_dataset:
+            assert by_dataset[name]["hit_rate_with_gp"] > 0.6
+    # Graph partitioning substantially lifts the hit rate of the large,
+    # strongly clustered graphs (the paper's headline Figure 17 result).
+    for name in ("yelp", "pokec", "amazon"):
+        if name in by_dataset:
+            row = by_dataset[name]
+            assert row["hit_rate_with_gp"] > row["hit_rate_without_gp"] + 0.1

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 18: DRAM traffic normalised to GCNAX."""
+
+from conftest import run_and_record
+
+
+def test_fig18_memory_traffic(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig18_memory_traffic", experiment_config)
+    ratios = []
+    for row in result.rows:
+        assert row["gcnax"] == 1.0
+        ratios.append(row["grow_with_gp"])
+    # On average GROW moves roughly half of GCNAX's DRAM traffic (paper: 2x
+    # reduction on average); Reddit is the known worst case.
+    average = sum(ratios) / len(ratios)
+    assert average < 0.8
+    by_dataset = {row["dataset"]: row for row in result.rows}
+    worst = max(ratios)
+    assert by_dataset["reddit"]["grow_with_gp"] == worst

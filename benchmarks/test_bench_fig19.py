@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 19: traffic reduction from caching and partitioning."""
+
+from conftest import run_and_record
+
+
+def test_fig19_traffic_reduction(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig19_traffic_reduction", experiment_config)
+    for row in result.rows:
+        assert row["without_hdn_caching"] == 1.0
+        # HDN caching always reduces traffic, and adding graph partitioning
+        # never makes it worse than caching alone by more than a small margin.
+        assert row["with_hdn_caching"] >= 1.0
+        assert row["with_hdn_caching_and_gp"] >= row["with_hdn_caching"] * 0.9
+    # For the large power-law graphs the combination of caching and
+    # partitioning yields a multi-x traffic reduction.
+    by_dataset = {row["dataset"]: row for row in result.rows}
+    for name in ("yelp", "pokec", "amazon"):
+        if name in by_dataset:
+            assert by_dataset[name]["with_hdn_caching_and_gp"] > 1.5

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 2: MAC operations of both execution orders."""
+
+from conftest import run_and_record
+
+
+def test_fig2_mac_ops(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig2_mac_ops", experiment_config)
+    assert len(result.rows) == len(experiment_config.datasets)
+    # The A(XW) order must never require more MACs than (AX)W — the reason the
+    # paper (and AWB-GCN/GCNAX) adopt it.
+    for row in result.rows:
+        assert row["a_xw_normalized"] <= 1.0 + 1e-9

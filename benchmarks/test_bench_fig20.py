@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 20: speedup and latency breakdown vs GCNAX."""
+
+from conftest import run_and_record
+
+
+def test_fig20_speedup(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig20_speedup", experiment_config)
+    geomean = result.metadata["geomean_speedup_with_gp"]
+    # The paper reports an average 2.8x; the scaled reproduction should land
+    # comfortably above parity with the same winners.
+    assert geomean > 1.5
+    for row in result.rows:
+        # GROW's gain comes from the aggregation phase: its aggregation cycles
+        # (normalised to GCNAX) are always smaller than GCNAX's.
+        assert row["grow_aggregation"] < row["gcnax_aggregation"]
+    by_dataset = {row["dataset"]: row for row in result.rows}
+    # Reddit is the least favourable dataset for GROW.
+    reddit = by_dataset["reddit"]["speedup_with_gp"]
+    assert reddit == min(row["speedup_with_gp"] for row in result.rows)

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 21: the ablation study."""
+
+from conftest import run_and_record
+
+
+def test_fig21_ablation(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig21_ablation", experiment_config)
+    by_config = {row["configuration"]: row["geomean_speedup"] for row in result.rows}
+    assert by_config["gcnax_baseline"] == 1.0
+    # Every incremental optimisation helps on average.
+    assert by_config["hdn_cache_only"] > 1.0
+    assert by_config["plus_runahead"] >= by_config["hdn_cache_only"]
+    assert by_config["plus_graph_partitioning"] >= by_config["plus_runahead"]

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 22: energy breakdown normalised to GCNAX."""
+
+from conftest import run_and_record
+
+
+def test_fig22_energy(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig22_energy", experiment_config)
+    # Three designs per dataset.
+    assert len(result.rows) == 3 * len(experiment_config.datasets)
+    by_key = {(row["dataset"], row["design"]): row for row in result.rows}
+    improvements = []
+    for name in experiment_config.datasets:
+        gcnax = by_key[(name, "gcnax")]
+        grow = by_key[(name, "grow_with_gp")]
+        assert abs(gcnax["total"] - 1.0) < 1e-6
+        # DRAM dynamic energy is a major component for the memory-bound GEMMs.
+        assert gcnax["dram"] > gcnax["sram"] * 0.5
+        improvements.append(1.0 / grow["total"])
+    # GROW is more energy-efficient than GCNAX on average (paper: 2.3x).
+    assert sum(improvements) / len(improvements) > 1.2
+    assert result.metadata["geomean_energy_efficiency_gain"] > 1.2

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 24: performance scalability with PE count."""
+
+from conftest import run_and_record
+
+
+def test_fig24_pe_scaling(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig24_pe_scaling", experiment_config)
+    for row in result.rows:
+        # Throughput is normalised to one PE and never decreases with more PEs.
+        assert abs(row["pe_1"] - 1.0) < 1e-6
+        assert row["pe_2"] >= row["pe_1"] - 1e-9
+        assert row["pe_16"] >= row["pe_4"] - 1e-9
+    # The large graphs scale much further than the small ones (which fit a
+    # single PE's working set).
+    by_dataset = {row["dataset"]: row for row in result.rows}
+    if "amazon" in by_dataset and "cora" in by_dataset:
+        assert by_dataset["amazon"]["pe_16"] > by_dataset["cora"]["pe_16"]

@@ -1,0 +1,32 @@
+"""Benchmarks regenerating Figure 25: runahead-degree and bandwidth sensitivity."""
+
+from conftest import run_and_record
+
+
+def test_fig25a_runahead_sweep(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig25a_runahead_sweep", experiment_config)
+    for row in result.rows:
+        # More runahead never hurts, and 16-way captures essentially all of the
+        # benefit (the paper's chosen design point).
+        assert abs(row["way_1"] - 1.0) < 1e-6
+        assert row["way_16"] >= row["way_1"] - 1e-9
+        assert row["way_32"] <= row["way_16"] * 1.2
+
+
+def test_fig25b_bandwidth_sweep(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig25b_bandwidth_sweep", experiment_config)
+    by_key = {(row["dataset"], row["design"]): row for row in result.rows}
+    steeper = 0
+    for name in experiment_config.datasets:
+        gcnax = by_key[(name, "gcnax")]
+        grow = by_key[(name, "grow")]
+        # Throughput rises with bandwidth for both designs.
+        assert gcnax["bw_4.0x"] >= gcnax["bw_1.0x"] - 1e-9
+        assert grow["bw_4.0x"] >= grow["bw_1.0x"] - 1e-9
+        # GCNAX's slope (sensitivity to bandwidth) is at least as steep as
+        # GROW's on most datasets.
+        gcnax_slope = gcnax["bw_4.0x"] - gcnax["bw_0.25x"]
+        grow_slope = grow["bw_4.0x"] - grow["bw_0.25x"]
+        if gcnax_slope >= grow_slope - 1e-9:
+            steeper += 1
+    assert steeper >= len(experiment_config.datasets) * 0.6

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 26: GROW vs MatRaptor and GAMMA."""
+
+from conftest import run_and_record
+
+
+def test_fig26_spsp_comparison(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig26_spsp_comparison", experiment_config)
+    for row in result.rows:
+        assert row["gcnax"] == 1.0
+        # GROW outperforms both generic sparse-sparse Gustavson designs, and
+        # GAMMA (with its fiber cache) outperforms the cache-less MatRaptor.
+        assert row["grow"] > row["gamma"]
+        assert row["gamma"] > row["matraptor"]
+    assert result.metadata["geomean_speedup_vs_matraptor"] > result.metadata[
+        "geomean_speedup_vs_gamma"
+    ]

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 3: densities of the four GCN matrices."""
+
+from conftest import run_and_record
+
+
+def test_fig3_density(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig3_density", experiment_config)
+    for row in result.rows:
+        # A is always far sparser than the dense RHS matrices, and W is dense.
+        assert row["density_A"] < 0.1
+        assert row["density_W"] == 1.0
+        assert row["density_XW"] > 0.5
+        # The heterogeneous-sparsity observation: A is much sparser than X.
+        assert row["density_A"] < row["density_X"] + 1e-12

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 5: non-zeros per GCNAX tile."""
+
+from conftest import run_and_record
+
+
+def test_fig5_tile_nnz(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig5_tile_nnz", experiment_config)
+    # Two rows (matrix A and matrix X) per dataset.
+    assert len(result.rows) == 2 * len(experiment_config.datasets)
+    by_key = {(row["dataset"], row["matrix"]): row for row in result.rows}
+    for name in ("yelp", "pokec", "amazon"):
+        a_row = by_key[(name, "A")]
+        # The sparse adjacency matrices of the large graphs put only a couple
+        # of non-zeros in most tiles (the paper's key observation).
+        few = a_row.get("frac_1", 0.0) + a_row.get("frac_2", 0.0) + a_row.get("frac_3~8", 0.0)
+        assert few > 0.5

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 7: GCNAX's latency breakdown."""
+
+from conftest import run_and_record
+
+
+def test_fig7_gcnax_breakdown(benchmark, experiment_config):
+    result = run_and_record(benchmark, "fig7_gcnax_breakdown", experiment_config)
+    for row in result.rows:
+        total = row["aggregation_fraction"] + row["combination_fraction"]
+        assert abs(total - 1.0) < 1e-6
+        # Aggregation dominates GCNAX's runtime on every dataset.
+        assert row["aggregation_fraction"] > 0.5

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table I: dataset structure and key features."""
+
+from conftest import run_and_record
+
+
+def test_table1_datasets(benchmark, experiment_config):
+    result = run_and_record(benchmark, "table1_datasets", experiment_config)
+    assert len(result.rows) == len(experiment_config.datasets)
+    # Rows come out in Table I order and every graph is non-trivial.
+    assert tuple(result.column("dataset")) == tuple(experiment_config.datasets)
+    assert all(edges > 0 for edges in result.column("edges"))
+    # The large social/e-commerce graphs stay the biggest synthetic graphs.
+    by_dataset = {row["dataset"]: row for row in result.rows}
+    if {"cora", "amazon"} <= by_dataset.keys():
+        assert by_dataset["amazon"]["nodes"] > by_dataset["cora"]["nodes"]

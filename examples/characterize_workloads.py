@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Characterise the GCN workloads the way the paper's motivation section does.
+
+Regenerates, for a configurable set of datasets, the three characterisation
+artefacts of the paper's Section IV:
+
+* Table I   — dataset structure (nodes, edges, densities, feature lengths),
+* Figure 3  — the heterogeneous densities of A, X, XW and W,
+* Figure 6  — GCNAX's effective bandwidth utilisation fetching A and X.
+
+Run with::
+
+    python examples/characterize_workloads.py [dataset ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness import run_experiment
+from repro.graph.datasets import DATASET_NAMES
+
+
+def main() -> None:
+    datasets = tuple(sys.argv[1:]) or DATASET_NAMES
+    unknown = [name for name in datasets if name not in DATASET_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown datasets {unknown}; choose from {DATASET_NAMES}")
+
+    for experiment in ("table1_datasets", "fig3_density", "fig6_bandwidth_util"):
+        result = run_experiment(experiment, datasets=datasets)
+        print(result.to_table())
+        print()
+
+    print(
+        "Reading the output: the adjacency matrix A is orders of magnitude sparser than\n"
+        "the feature matrix X, yet GCNAX applies the same rigid 2-D-tiled dataflow to\n"
+        "both — which is why its effective bandwidth utilisation collapses on A while\n"
+        "staying high on X.  GROW's row-stationary dataflow is built around exactly\n"
+        "this asymmetry."
+    )
+
+
+if __name__ == "__main__":
+    main()

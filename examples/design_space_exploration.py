@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Design-space exploration of the GROW architecture.
+
+Uses the public simulator API to answer the questions an architect would ask
+before committing to a configuration:
+
+* how large does the HDN cache need to be before hit rates saturate?
+* how much runahead (memory-level parallelism) is enough?
+* how sensitive is the design to off-chip bandwidth (the Figure 25(b) study)?
+* what do those choices cost in area?
+
+Run with::
+
+    python examples/design_space_exploration.py [dataset]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.accelerators.base import KB
+from repro.accelerators.gcnax import GCNAXSimulator
+from repro.accelerators.workload import build_model_workloads
+from repro.core import GrowPreprocessor, GrowSimulator
+from repro.energy.area import AreaModel
+from repro.gcn.layer import build_model_for_dataset
+from repro.graph.datasets import DATASET_NAMES, load_dataset
+from repro.harness.config import default_config
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "amazon"
+    if dataset_name not in DATASET_NAMES:
+        raise SystemExit(f"unknown dataset {dataset_name!r}; choose from {DATASET_NAMES}")
+    config = default_config()
+
+    dataset = load_dataset(dataset_name)
+    model = build_model_for_dataset(dataset)
+    workloads = build_model_workloads(model)
+    plan = GrowPreprocessor(target_cluster_nodes=config.target_cluster_nodes).plan_from_graph(
+        dataset.graph
+    )
+    gcnax_cycles = GCNAXSimulator(config.gcnax_config()).run_model(workloads).total_cycles
+    area_model = AreaModel(technology_nm=65)
+
+    print(f"== HDN cache capacity sweep ({dataset_name}) ==")
+    print(f"{'cache':>8s} {'hit rate':>9s} {'speedup':>8s} {'cache area mm2':>15s}")
+    for cache_kb in (32, 64, 128, 256, 512, 1024):
+        grow = GrowSimulator(config.grow_config(hdn_cache_bytes=cache_kb * KB)).run_model(
+            workloads, plan
+        )
+        print(
+            f"{cache_kb:6d}KB {grow.extra['hdn_hit_rate']:9.1%} "
+            f"{gcnax_cycles / grow.total_cycles:8.2f} "
+            f"{area_model.hdn_cache_area(cache_kb * KB):15.2f}"
+        )
+
+    print(f"\n== Runahead degree sweep ({dataset_name}) ==")
+    print(f"{'degree':>8s} {'speedup over 1-way':>20s}")
+    base = None
+    for degree in (1, 2, 4, 8, 16, 32):
+        grow = GrowSimulator(
+            config.grow_config(runahead_degree=degree, ldn_table_entries=max(16, degree))
+        ).run_model(workloads, plan)
+        base = base or grow.total_cycles
+        print(f"{degree:8d} {base / grow.total_cycles:20.2f}")
+
+    print(f"\n== Bandwidth sensitivity ({dataset_name}), normalised to 1.0x ==")
+    print(f"{'bandwidth':>10s} {'GCNAX':>8s} {'GROW':>8s}")
+    factors = (0.25, 0.5, 1.0, 2.0, 4.0)
+    gcnax_ref = grow_ref = None
+    rows = []
+    for factor in factors:
+        swept = config.with_bandwidth(config.bandwidth_gbps * factor)
+        gcnax = GCNAXSimulator(swept.gcnax_config()).run_model(workloads).total_cycles
+        grow = GrowSimulator(swept.grow_config()).run_model(workloads, plan).total_cycles
+        rows.append((factor, gcnax, grow))
+        if factor == 1.0:
+            gcnax_ref, grow_ref = gcnax, grow
+    for factor, gcnax, grow in rows:
+        print(f"{factor:9.2f}x {gcnax_ref / gcnax:8.2f} {grow_ref / grow:8.2f}")
+    print(
+        "\nGCNAX's throughput moves almost one-for-one with bandwidth (it is memory "
+        "bound on wasted traffic); GROW's flatter curve shows the headroom its "
+        "row-stationary dataflow and HDN cache recover."
+    )
+
+
+if __name__ == "__main__":
+    main()

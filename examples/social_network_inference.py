@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Social-network inference: the workload class GROW was designed for.
+
+The paper's motivation is GCN inference on large power-law graphs (social
+networks, e-commerce).  This example builds a Pokec-like social graph,
+shows why the aggregation phase dominates on such graphs, and walks through
+GROW's three optimisations one at a time — exactly the ablation of the
+paper's Figure 21 — printing how each one changes latency, traffic and the
+HDN cache hit rate.
+
+Run with::
+
+    python examples/social_network_inference.py
+"""
+
+from __future__ import annotations
+
+from repro.accelerators import GCNAXSimulator
+from repro.accelerators.workload import build_model_workloads
+from repro.core import GrowPreprocessor, GrowSimulator
+from repro.gcn.layer import build_model_for_dataset
+from repro.graph.datasets import load_dataset
+from repro.graph.stats import top_degree_edge_coverage
+from repro.harness.config import default_config
+
+
+def main() -> None:
+    config = default_config()
+
+    print("== The workload: a power-law social graph (Pokec stand-in) ==")
+    dataset = load_dataset("pokec")
+    graph = dataset.graph
+    coverage = top_degree_edge_coverage(graph, k=graph.num_nodes // 20)
+    print(
+        f"{graph.num_nodes} nodes, {graph.num_edges} edges; the top 5% highest-degree "
+        f"nodes touch {coverage:.0%} of all edges — the locality the HDN cache exploits."
+    )
+    model = build_model_for_dataset(dataset)
+    workloads = build_model_workloads(model)
+
+    print("\n== Why GCNAX struggles here ==")
+    gcnax = GCNAXSimulator(config.gcnax_config()).run_model(workloads)
+    agg_share = gcnax.phase_cycles("aggregation") / gcnax.total_cycles
+    agg_util = [
+        p.extra.get("sparse_bandwidth_utilization", 0.0)
+        for p in gcnax.phases
+        if "aggregation" in p.name
+    ]
+    print(
+        f"GCNAX spends {agg_share:.0%} of its {gcnax.total_cycles:.0f} cycles in aggregation; "
+        f"its effective bandwidth utilisation fetching the adjacency matrix is only "
+        f"{min(agg_util):.0%}."
+    )
+
+    print("\n== GROW, one optimisation at a time (the Figure 21 ablation) ==")
+    preprocessor = GrowPreprocessor(target_cluster_nodes=config.target_cluster_nodes)
+    plan_gp = preprocessor.plan_from_graph(graph, partitioned=True)
+    plan_no_gp = preprocessor.plan_from_graph(graph, partitioned=False)
+
+    steps = [
+        ("row-stationary + HDN cache", dict(enable_runahead=False), plan_no_gp),
+        ("+ runahead execution", dict(), plan_no_gp),
+        ("+ graph partitioning", dict(), plan_gp),
+    ]
+    print(f"{'configuration':32s} {'cycles':>12s} {'speedup':>8s} {'DRAM MB':>9s} {'HDN hit':>8s}")
+    print(f"{'GCNAX baseline':32s} {gcnax.total_cycles:12.0f} {1.0:8.2f} "
+          f"{gcnax.total_dram_bytes / 1e6:9.1f} {'-':>8s}")
+    for label, overrides, plan in steps:
+        result = GrowSimulator(config.grow_config(**overrides)).run_model(workloads, plan)
+        print(
+            f"{label:32s} {result.total_cycles:12.0f} "
+            f"{result.speedup_over(gcnax):8.2f} {result.total_dram_bytes / 1e6:9.1f} "
+            f"{result.extra['hdn_hit_rate']:8.1%}"
+        )
+
+    print(
+        "\nEach feature compounds: the row-stationary dataflow removes the tile-fetch "
+        "waste, runahead hides the remaining HDN-miss latency, and graph partitioning "
+        "turns the cache's global hub coverage into per-cluster coverage."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro: a reproduction of GROW (HPCA 2023).
+
+GROW is a row-stationary sparse-dense GEMM accelerator for graph
+convolutional networks.  This package contains the full reproduction stack:
+
+* ``repro.sparse``  — sparse-matrix formats and reference SpMM dataflows
+* ``repro.graph``   — graph containers, synthetic datasets, partitioning
+* ``repro.gcn``     — GCN layers, feature generation, MAC counting
+* ``repro.memory``  — DRAM / SRAM / DMA models and traffic accounting
+* ``repro.energy``  — energy and area models
+* ``repro.accelerators`` — GCNAX, HyGCN, MatRaptor and GAMMA baselines
+* ``repro.core``    — the GROW accelerator itself
+* ``repro.analysis`` — workload characterisation (densities, tiles, bandwidth)
+* ``repro.harness`` — experiment runners that regenerate the paper's tables
+  and figures
+
+Quick start::
+
+    from repro.harness import run_experiment
+    result = run_experiment("fig20_speedup", datasets=("cora", "citeseer"))
+    print(result.to_table())
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import GrowConfig, GrowSimulator
+from repro.accelerators import GCNAXSimulator
+
+__all__ = ["GrowConfig", "GrowSimulator", "GCNAXSimulator", "__version__"]

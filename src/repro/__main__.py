@@ -1,0 +1,66 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                       — list the registered experiments.
+* ``run <experiment> [...]``     — run one or more experiments and print their tables.
+* ``datasets``                   — print the synthetic dataset inventory (Table I).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GROW (HPCA 2023) reproduction: regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+    subparsers.add_parser("datasets", help="print the synthetic dataset inventory")
+
+    run_parser = subparsers.add_parser("run", help="run experiments and print their tables")
+    run_parser.add_argument("experiments", nargs="+", help="experiment ids (see 'list')")
+    run_parser.add_argument(
+        "--datasets", nargs="*", default=None, help="restrict to these datasets"
+    )
+    run_parser.add_argument(
+        "--bandwidth", type=float, default=None, help="override DRAM bandwidth in GB/s"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    from repro.harness import default_config, list_experiments, run_experiment
+
+    if args.command == "list":
+        for name in list_experiments():
+            print(name)
+        return 0
+
+    if args.command == "datasets":
+        result = run_experiment("table1_datasets")
+        print(result.to_table())
+        return 0
+
+    overrides = {}
+    if args.bandwidth is not None:
+        overrides["bandwidth_gbps"] = args.bandwidth
+    config = default_config(
+        datasets=tuple(args.datasets) if args.datasets else None, **overrides
+    )
+    for name in args.experiments:
+        result = run_experiment(name, config=config)
+        print(result.to_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

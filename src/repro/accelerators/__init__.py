@@ -1,0 +1,42 @@
+"""Baseline accelerator models: GCNAX, HyGCN, MatRaptor, GAMMA.
+
+All baselines share the workload description and result schema in
+:mod:`repro.accelerators.base` / :mod:`repro.accelerators.workload`, so they
+are directly comparable with the GROW simulator in :mod:`repro.core`.
+"""
+
+from repro.accelerators.base import (
+    AcceleratorConfig,
+    AcceleratorResult,
+    PhaseStats,
+    combine_results,
+)
+from repro.accelerators.workload import (
+    LayerWorkload,
+    SpDeGemmPhase,
+    build_layer_workload,
+    build_model_workloads,
+)
+from repro.accelerators.gcnax import GCNAXConfig, GCNAXSimulator
+from repro.accelerators.hygcn import HyGCNConfig, HyGCNSimulator
+from repro.accelerators.matraptor import MatRaptorConfig, MatRaptorSimulator
+from repro.accelerators.gamma import GAMMAConfig, GAMMASimulator
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorResult",
+    "PhaseStats",
+    "combine_results",
+    "LayerWorkload",
+    "SpDeGemmPhase",
+    "build_layer_workload",
+    "build_model_workloads",
+    "GCNAXConfig",
+    "GCNAXSimulator",
+    "HyGCNConfig",
+    "HyGCNSimulator",
+    "MatRaptorConfig",
+    "MatRaptorSimulator",
+    "GAMMAConfig",
+    "GAMMASimulator",
+]

@@ -1,0 +1,118 @@
+"""MatRaptor baseline: row-wise sparse-sparse GEMM accelerator.
+
+MatRaptor (Srivastava et al., MICRO 2020) uses the same Gustavson row-wise
+product as GROW but targets generic sparse-sparse GEMM.  The paper's
+Section VII-H identifies three reasons it loses to GROW on GCN inference,
+all of which this model captures:
+
+* no cache for the RHS rows — every LHS non-zero streams its RHS row from
+  DRAM, so the power-law reuse of the adjacency matrix is never exploited;
+* the RHS matrix is assumed to be CSR-compressed, which for the effectively
+  dense XW matrix inflates traffic with index metadata;
+* sparse output rows require a partial-sum merging step (sorting queues),
+  which adds compute overhead that is pure waste for a dense output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accelerators.base import (
+    KB,
+    NNZ_BYTES,
+    AcceleratorConfig,
+    AcceleratorResult,
+    PhaseStats,
+    combine_results,
+)
+from repro.accelerators.workload import LayerWorkload, SpDeGemmPhase
+
+
+@dataclass(frozen=True)
+class MatRaptorConfig:
+    """MatRaptor architecture parameters.
+
+    Attributes:
+        arch: shared architecture parameters.
+        merge_overhead_factor: multiplicative compute overhead of the
+            partial-sum merge (sorting) stage relative to the raw MACs.
+        queue_buffer_bytes: on-chip capacity of the merge queues.
+    """
+
+    arch: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    merge_overhead_factor: float = 1.5
+    queue_buffer_bytes: int = 192 * KB
+
+
+class MatRaptorSimulator:
+    """Cycle-accounting model of MatRaptor running the GCN SpDeGEMMs."""
+
+    name = "matraptor"
+
+    def __init__(self, config: MatRaptorConfig | None = None) -> None:
+        self.config = config or MatRaptorConfig()
+
+    def run_phase(self, phase: SpDeGemmPhase) -> PhaseStats:
+        """Simulate one SpDeGEMM phase on MatRaptor."""
+        arch = self.config.arch
+        granularity = arch.access_granularity
+
+        # LHS streamed in CSR: contiguous and efficient, same as GROW.
+        lhs_requested = phase.sparse.nnz * NNZ_BYTES
+        lhs_transferred = -(-lhs_requested // granularity) * granularity
+
+        # RHS rows are CSR-compressed (value + index per element).  The XW
+        # matrix is effectively dense, so each row costs 12 bytes per column,
+        # and with no cache every LHS non-zero triggers a full row fetch.
+        rhs_row_bytes = phase.rhs_cols * NNZ_BYTES
+        rhs_row_lines = -(-rhs_row_bytes // granularity)
+        if phase.rhs_resident:
+            rhs_requested = phase.dense_shape[0] * rhs_row_bytes
+            rhs_transferred = -(-rhs_requested // granularity) * granularity
+            row_fetches = phase.dense_shape[0]
+        else:
+            row_fetches = phase.sparse.nnz
+            rhs_requested = row_fetches * rhs_row_bytes
+            rhs_transferred = row_fetches * rhs_row_lines * granularity
+
+        # Output written in CSR form as well (metadata overhead on a dense
+        # output), after the merge stage.
+        output_elements = phase.output_shape[0] * phase.output_shape[1]
+        output_bytes = -(-output_elements * NNZ_BYTES // granularity) * granularity
+
+        mac_ops = phase.mac_operations
+        compute_cycles = mac_ops * self.config.merge_overhead_factor / arch.num_macs
+        dram_read = lhs_transferred + rhs_transferred
+        dram_write = output_bytes
+        memory_cycles = (dram_read + dram_write) / arch.bytes_per_cycle
+
+        return PhaseStats(
+            name=phase.name,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            stall_cycles=0.0,
+            mac_operations=mac_ops,
+            dram_read_bytes=dram_read,
+            dram_write_bytes=dram_write,
+            requested_read_bytes=lhs_requested + rhs_requested,
+            sram_access_bytes={
+                "queue_buffer": phase.output_shape[0] * phase.output_shape[1] * 8 * 2,
+                "stream_buffer": (lhs_transferred + rhs_transferred),
+            },
+            extra={"rhs_row_fetches": float(row_fetches)},
+        )
+
+    def run_layer(self, workload: LayerWorkload) -> AcceleratorResult:
+        """Simulate the two phases of one GCN layer."""
+        result = AcceleratorResult(accelerator=self.name, workload=workload.name)
+        for phase in workload.phases:
+            result.phases.append(self.run_phase(phase))
+        result.sram_capacities = {"queue_buffer": self.config.queue_buffer_bytes}
+        return result
+
+    def run_model(self, workloads: list[LayerWorkload], name: str | None = None) -> AcceleratorResult:
+        """Simulate all layers of a model back to back."""
+        results = [self.run_layer(w) for w in workloads]
+        combined = combine_results(results, workload=name or workloads[0].name)
+        combined.sram_capacities = results[0].sram_capacities
+        return combined

@@ -1,0 +1,33 @@
+"""Latency breakdowns of accelerator results (Figures 7 and 20(b))."""
+
+from __future__ import annotations
+
+from repro.accelerators.base import AcceleratorResult
+
+
+def latency_breakdown(result: AcceleratorResult) -> dict[str, float]:
+    """Cycles spent in aggregation vs combination phases of one result."""
+    return {
+        "aggregation": result.phase_cycles("aggregation"),
+        "combination": result.phase_cycles("combination"),
+        "total": result.total_cycles,
+    }
+
+
+def phase_fraction(result: AcceleratorResult, phase_keyword: str) -> float:
+    """Fraction of end-to-end latency spent in phases matching a keyword."""
+    total = result.total_cycles
+    if total == 0:
+        return 0.0
+    return result.phase_cycles(phase_keyword) / total
+
+
+def normalized_breakdown(result: AcceleratorResult, baseline: AcceleratorResult) -> dict[str, float]:
+    """Latency breakdown normalised to a baseline's total (Figure 20(b) bars)."""
+    baseline_total = baseline.total_cycles
+    if baseline_total == 0:
+        return {"aggregation": 0.0, "combination": 0.0}
+    return {
+        "aggregation": result.phase_cycles("aggregation") / baseline_total,
+        "combination": result.phase_cycles("combination") / baseline_total,
+    }

@@ -1,0 +1,56 @@
+"""Tile-occupancy and bandwidth-utilisation characterisation (Figures 5 and 6).
+
+These helpers reproduce the two characterisation figures that motivate GROW:
+how many non-zeros land in each GCNAX tile of the sparse matrices (Figure 5),
+and how much of the DRAM traffic spent fetching those tiles is effectual under
+a 64-byte minimum access granularity (Figure 6).
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.base import NNZ_BYTES
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.tiling import iter_tiles, tile_nnz_histogram
+
+
+def tile_nnz_bins(
+    matrix: CSRMatrix,
+    tile_rows: int = 32,
+    tile_cols: int = 32,
+    bin_edges: tuple[int, ...] = (1, 2, 8, 16),
+) -> dict[str, float]:
+    """Fraction of occupied tiles per non-zero-count bin (one Figure 5 bar)."""
+    return tile_nnz_histogram(matrix, tile_rows, tile_cols, bin_edges=bin_edges)
+
+
+def effective_bandwidth_utilization(
+    matrix: CSRMatrix,
+    tile_rows: int = 32,
+    tile_cols: int = 32,
+    access_granularity: int = 64,
+) -> float:
+    """Effectual fraction of the bytes GCNAX's tiled fetch reads for a matrix.
+
+    Every occupied tile is fetched as at least one DRAM line; the effectual
+    bytes are the tile's non-zeros (value + index).  This is how the paper
+    measures the Figure 6 utilisation.
+    """
+    requested = 0
+    transferred = 0
+    for tile in iter_tiles(matrix, tile_rows, tile_cols, skip_empty=True):
+        tile_bytes = tile.nnz * NNZ_BYTES
+        requested += tile_bytes
+        lines = -(-tile_bytes // access_granularity)
+        transferred += max(1, lines) * access_granularity
+    if transferred == 0:
+        return 0.0
+    return min(1.0, requested / transferred)
+
+
+def csr_stream_utilization(matrix: CSRMatrix, access_granularity: int = 64) -> float:
+    """Effectual fraction of a contiguous CSR stream fetch (GROW's Figure 10(c))."""
+    requested = matrix.nnz * NNZ_BYTES
+    if requested == 0:
+        return 0.0
+    transferred = -(-requested // access_granularity) * access_granularity
+    return min(1.0, requested / transferred)

@@ -1,0 +1,38 @@
+"""GROW: the paper's row-stationary sparse-dense GEMM accelerator.
+
+The package is organised the way the paper presents the design (Section V):
+
+* :mod:`repro.core.config` — architecture configuration (Table III).
+* :mod:`repro.core.dataflow` — the row-stationary (Gustavson) dataflow and its
+  functional execution.
+* :mod:`repro.core.hdn_cache` — the high-degree-node cache and HDN ID list.
+* :mod:`repro.core.preprocess` — the software preprocessing pass: graph
+  partitioning plus per-cluster HDN ID list generation.
+* :mod:`repro.core.runahead` — the multi-row-stationary runahead execution
+  model (LDN table + LHS ID table).
+* :mod:`repro.core.accelerator` — the single-PE GROW simulator.
+* :mod:`repro.core.multi_pe` — the multi-PE scaling model.
+"""
+
+from repro.core.config import GrowConfig
+from repro.core.hdn_cache import HDNCache, HDNIdList
+from repro.core.preprocess import GrowPreprocessor, PreprocessPlan
+from repro.core.runahead import LDNTable, LHSIdTable, RunaheadModel
+from repro.core.dataflow import RowStationaryDataflow, RowTrace
+from repro.core.accelerator import GrowSimulator
+from repro.core.multi_pe import MultiPEGrowSimulator
+
+__all__ = [
+    "GrowConfig",
+    "HDNCache",
+    "HDNIdList",
+    "GrowPreprocessor",
+    "PreprocessPlan",
+    "LDNTable",
+    "LHSIdTable",
+    "RunaheadModel",
+    "RowStationaryDataflow",
+    "RowTrace",
+    "GrowSimulator",
+    "MultiPEGrowSimulator",
+]

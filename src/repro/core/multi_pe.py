@@ -1,0 +1,136 @@
+"""Multi-PE GROW scaling model (paper Section VII-F, Figure 24).
+
+Each processing engine (PE) owns a subset of the graph clusters; off-chip
+memory bandwidth scales proportionally with the PE count and is shared as a
+pool.  Because different clusters alternate between compute-bound and
+memory-bound behaviour at different times, pooling the bandwidth lets a PE
+momentarily use more than its 1/P share — which is the mechanism behind the
+super-linear speedups the paper reports for the large graphs.
+
+Timing model:
+
+* ``P = 1``: clusters execute back to back, each bounded by the larger of its
+  compute and memory time, plus the exposed runahead stalls.
+* ``P > 1``: clusters are assigned to PEs greedily (longest first); the run
+  finishes when the slowest PE finishes its compute, but no earlier than the
+  pooled-bandwidth bound over the total traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accelerators.workload import LayerWorkload
+from repro.core.accelerator import ClusterStats, GrowSimulator
+from repro.core.config import GrowConfig
+from repro.core.preprocess import PreprocessPlan
+from repro.core.runahead import RunaheadModel
+
+
+@dataclass
+class MultiPEResult:
+    """Outcome of a multi-PE aggregation run.
+
+    Attributes:
+        num_pes: number of processing engines.
+        total_cycles: end-to-end aggregation latency.
+        per_pe_compute_cycles: compute cycles assigned to each PE.
+        throughput_vs_single: single-PE cycles divided by this run's cycles.
+    """
+
+    num_pes: int
+    total_cycles: float
+    per_pe_compute_cycles: list[float]
+    throughput_vs_single: float
+
+
+class MultiPEGrowSimulator:
+    """Scaling model that distributes graph clusters across GROW PEs."""
+
+    def __init__(self, config: GrowConfig | None = None) -> None:
+        self.config = config or GrowConfig()
+        self._single_pe = GrowSimulator(self.config)
+
+    def _cluster_times(
+        self, workload: LayerWorkload, plan: PreprocessPlan | None
+    ) -> tuple[list[ClusterStats], float]:
+        clusters = self._single_pe.cluster_breakdown(workload.aggregation, plan)
+        bytes_per_cycle = self.config.arch.bytes_per_cycle
+        return clusters, bytes_per_cycle
+
+    def single_pe_cycles(self, workload: LayerWorkload, plan: PreprocessPlan | None = None) -> float:
+        """Aggregation latency with one PE: clusters execute sequentially."""
+        clusters, bytes_per_cycle = self._cluster_times(workload, plan)
+        runahead = RunaheadModel(
+            degree=self.config.effective_runahead,
+            dram_latency_cycles=self.config.arch.dram_latency_cycles,
+            ldn_entries=self.config.ldn_table_entries,
+        )
+        total = 0.0
+        for cluster in clusters:
+            memory_cycles = cluster.memory_bytes / bytes_per_cycle
+            total += max(cluster.compute_cycles, memory_cycles)
+            total += runahead.exposed_stall_cycles(cluster.rows_with_miss)
+        return total
+
+    def run_aggregation(
+        self,
+        workload: LayerWorkload,
+        num_pes: int,
+        plan: PreprocessPlan | None = None,
+    ) -> MultiPEResult:
+        """Aggregation latency with ``num_pes`` PEs and proportional bandwidth."""
+        if num_pes < 1:
+            raise ValueError("num_pes must be at least 1")
+        clusters, bytes_per_cycle = self._cluster_times(workload, plan)
+        single_cycles = self.single_pe_cycles(workload, plan)
+        if num_pes == 1:
+            return MultiPEResult(
+                num_pes=1,
+                total_cycles=single_cycles,
+                per_pe_compute_cycles=[sum(c.compute_cycles for c in clusters)],
+                throughput_vs_single=1.0,
+            )
+
+        # Greedy longest-processing-time assignment of clusters to PEs.
+        per_pe_compute = [0.0] * num_pes
+        per_pe_rows_with_miss = [0] * num_pes
+        order = sorted(clusters, key=lambda c: c.compute_cycles, reverse=True)
+        for cluster in order:
+            pe = int(np.argmin(per_pe_compute))
+            per_pe_compute[pe] += cluster.compute_cycles
+            per_pe_rows_with_miss[pe] += cluster.rows_with_miss
+
+        runahead = RunaheadModel(
+            degree=self.config.effective_runahead,
+            dram_latency_cycles=self.config.arch.dram_latency_cycles,
+            ldn_entries=self.config.ldn_table_entries,
+        )
+        compute_bound = max(
+            compute + runahead.exposed_stall_cycles(rows)
+            for compute, rows in zip(per_pe_compute, per_pe_rows_with_miss)
+        )
+        total_memory_bytes = sum(c.memory_bytes for c in clusters)
+        pooled_bandwidth = bytes_per_cycle * num_pes
+        memory_bound = total_memory_bytes / pooled_bandwidth
+        total_cycles = max(compute_bound, memory_bound)
+        return MultiPEResult(
+            num_pes=num_pes,
+            total_cycles=total_cycles,
+            per_pe_compute_cycles=per_pe_compute,
+            throughput_vs_single=single_cycles / total_cycles if total_cycles else float("inf"),
+        )
+
+    def scaling_sweep(
+        self,
+        workload: LayerWorkload,
+        pe_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+        plan: PreprocessPlan | None = None,
+    ) -> dict[int, float]:
+        """Normalised throughput for a sweep of PE counts (Figure 24)."""
+        return {
+            num_pes: self.run_aggregation(workload, num_pes, plan).throughput_vs_single
+            for num_pes in pe_counts
+        }

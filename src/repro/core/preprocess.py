@@ -1,0 +1,182 @@
+"""GROW's software preprocessing pass.
+
+The paper augments the METIS graph partitioner with a pass that derives, for
+every cluster, the list of its top-N high-degree nodes (Section V-C).  The
+partitioned graph and the per-cluster HDN ID lists are computed once offline
+and reused for every inference, so the runtime hardware only needs to fetch
+one cluster's HDN ID list before starting that cluster.
+
+:class:`GrowPreprocessor` produces a :class:`PreprocessPlan` from a graph (or
+directly from an adjacency matrix); the GROW simulator consumes the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.partition import PartitionResult, partition_graph
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class PreprocessPlan:
+    """Output of the preprocessing pass, consumed by the GROW simulator.
+
+    Attributes:
+        num_nodes: number of graph nodes (rows of the adjacency matrix).
+        cluster_of_node: cluster id of every node; identity plan has one cluster.
+        clusters: node ids of each cluster, in processing order.
+        hdn_lists: for each cluster, the node ids of its top-N high-degree
+            nodes (the columns whose RHS rows will be pinned in the HDN cache).
+        hdn_list_capacity: the N used when deriving the lists.
+        partitioned: whether graph partitioning was applied.
+        preprocessing_seconds: measured wall-clock cost of the offline pass
+            (the paper quotes tens of milliseconds to tens of minutes).
+    """
+
+    num_nodes: int
+    cluster_of_node: np.ndarray
+    clusters: list[np.ndarray]
+    hdn_lists: list[np.ndarray]
+    hdn_list_capacity: int
+    partitioned: bool
+    preprocessing_seconds: float = 0.0
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def hdn_storage_bytes(self) -> int:
+        """DRAM footprint of all clusters' HDN ID lists (3 bytes per id)."""
+        return sum(int(lst.size) * 3 for lst in self.hdn_lists)
+
+    def validate(self) -> None:
+        """Check internal consistency (every node in exactly one cluster)."""
+        seen = np.concatenate(self.clusters) if self.clusters else np.empty(0, dtype=np.int64)
+        if seen.size != self.num_nodes or np.unique(seen).size != self.num_nodes:
+            raise ValueError("clusters must cover every node exactly once")
+        for cluster_id, hdns in enumerate(self.hdn_lists):
+            if hdns.size > self.hdn_list_capacity:
+                raise ValueError(f"cluster {cluster_id} HDN list exceeds capacity")
+
+
+def _top_degree_within(
+    adjacency: CSRMatrix, cluster_nodes: np.ndarray, capacity: int, intra_only: bool
+) -> np.ndarray:
+    """Top-``capacity`` columns most referenced by the cluster's rows.
+
+    The reference count of a column is the number of non-zeros in the
+    cluster's rows pointing at it; with ``intra_only`` the candidates are
+    restricted to the cluster's own nodes (the paper's per-cluster HDN
+    selection).
+    """
+    counts = np.zeros(adjacency.n_cols, dtype=np.int64)
+    # Count column references from the cluster's rows only.
+    starts = adjacency.indptr[cluster_nodes]
+    ends = adjacency.indptr[cluster_nodes + 1]
+    lengths = ends - starts
+    if lengths.sum() == 0:
+        return np.empty(0, dtype=np.int64)
+    gather = np.concatenate([adjacency.indices[s:e] for s, e in zip(starts, ends)])
+    np.add.at(counts, gather, 1)
+    if intra_only:
+        mask = np.zeros(adjacency.n_cols, dtype=bool)
+        mask[cluster_nodes] = True
+        counts = np.where(mask, counts, 0)
+    candidates = np.argsort(-counts, kind="stable")
+    candidates = candidates[counts[candidates] > 0]
+    return candidates[:capacity].astype(np.int64)
+
+
+@dataclass
+class GrowPreprocessor:
+    """Builds :class:`PreprocessPlan` objects for the GROW simulator.
+
+    Attributes:
+        num_clusters: number of clusters to partition into (ignored when
+            partitioning is disabled); ``None`` chooses one cluster per
+            ``target_cluster_nodes`` nodes.
+        target_cluster_nodes: desired nodes per cluster when ``num_clusters``
+            is not given.
+        hdn_list_capacity: maximum HDN ids per cluster (paper default 4096).
+        partition_method: ``"metis"`` (multilevel) or ``"bfs"``.
+        seed: RNG seed of the partitioner.
+    """
+
+    num_clusters: int | None = None
+    target_cluster_nodes: int = 512
+    hdn_list_capacity: int = 4096
+    partition_method: str = "metis"
+    seed: int = 0
+
+    def plan_without_partitioning(self, adjacency: CSRMatrix) -> PreprocessPlan:
+        """Plan that treats the whole graph as one cluster (no partitioning).
+
+        The HDN list then simply holds the globally highest-degree nodes,
+        which is the "GROW w/o G.P." configuration of Figures 17-22.
+        """
+        n = adjacency.n_rows
+        all_nodes = np.arange(n, dtype=np.int64)
+        hdns = _top_degree_within(adjacency, all_nodes, self.hdn_list_capacity, intra_only=False)
+        return PreprocessPlan(
+            num_nodes=n,
+            cluster_of_node=np.zeros(n, dtype=np.int64),
+            clusters=[all_nodes],
+            hdn_lists=[hdns],
+            hdn_list_capacity=self.hdn_list_capacity,
+            partitioned=False,
+        )
+
+    def plan_from_graph(self, graph: Graph, partitioned: bool = True) -> PreprocessPlan:
+        """Plan built by partitioning a graph and deriving per-cluster HDN lists."""
+        import time
+
+        adjacency = graph.adjacency()
+        if not partitioned:
+            return self.plan_without_partitioning(adjacency)
+        started = time.perf_counter()
+        clusters_wanted = self.num_clusters
+        if clusters_wanted is None:
+            clusters_wanted = max(1, graph.num_nodes // self.target_cluster_nodes)
+        if clusters_wanted <= 1:
+            plan = self.plan_without_partitioning(adjacency)
+            plan.preprocessing_seconds = time.perf_counter() - started
+            return plan
+        partition = partition_graph(graph, clusters_wanted, method=self.partition_method, seed=self.seed)
+        plan = self.plan_from_partition(adjacency, partition)
+        plan.preprocessing_seconds = time.perf_counter() - started
+        return plan
+
+    def plan_from_partition(
+        self, adjacency: CSRMatrix, partition: PartitionResult, intra_only: bool = False
+    ) -> PreprocessPlan:
+        """Plan built from an existing partition of the adjacency matrix.
+
+        For every cluster the HDN list holds the columns most referenced by
+        that cluster's rows.  With ``intra_only`` the candidates are
+        restricted to the cluster's own nodes (the strictest reading of the
+        paper); the default also admits heavily referenced external hub
+        nodes, which degrades gracefully on graphs with weak community
+        structure (e.g. Reddit) and never lowers the hit rate.
+        """
+        clusters: list[np.ndarray] = []
+        hdn_lists: list[np.ndarray] = []
+        for cluster_id in range(partition.num_clusters):
+            nodes = np.where(partition.assignment == cluster_id)[0].astype(np.int64)
+            if nodes.size == 0:
+                continue
+            clusters.append(nodes)
+            hdn_lists.append(
+                _top_degree_within(adjacency, nodes, self.hdn_list_capacity, intra_only=intra_only)
+            )
+        return PreprocessPlan(
+            num_nodes=adjacency.n_rows,
+            cluster_of_node=partition.assignment.copy(),
+            clusters=clusters,
+            hdn_lists=hdn_lists,
+            hdn_list_capacity=self.hdn_list_capacity,
+            partitioned=True,
+        )

@@ -1,0 +1,131 @@
+"""Area model reproducing the paper's Table IV.
+
+GROW's area is dominated by its on-chip SRAM (88% of 5.8 mm^2 at 65 nm).  The
+model assigns each component an area from a per-byte SRAM density and a
+per-MAC datapath cost, calibrated so the default GROW configuration lands on
+the published 65 nm numbers, then scales to other technology nodes with the
+usual (node_ratio)^2 rule the paper applies when comparing against GCNAX's
+40 nm figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KB = 1024
+
+# Published GCNAX total area at 40 nm (paper Table IV).
+GCNAX_AREA_MM2_40NM = 6.51
+
+# Calibration targets: the measured 65 nm areas of GROW's components
+# (paper Table IV, "65 nm (measured)" column).
+_PAPER_65NM_AREAS = {
+    "mac_array": 0.613,
+    "i_buf_sparse": 0.319,
+    "hdn_id_list": 1.112,
+    "hdn_cache": 3.569,
+    "o_buf_dense": 0.113,
+    "others": 0.059,
+}
+
+# Default GROW configuration the calibration corresponds to.
+_CAL_MACS = 16
+_CAL_SPARSE_BYTES = 12 * KB
+_CAL_HDN_ID_BYTES = 12 * KB
+_CAL_HDN_CACHE_BYTES = 512 * KB
+_CAL_OBUF_BYTES = 2 * KB
+
+
+def scale_area(area_mm2: float, from_nm: int, to_nm: int) -> float:
+    """Scale an area between technology nodes with the quadratic rule."""
+    if from_nm <= 0 or to_nm <= 0:
+        raise ValueError("technology nodes must be positive")
+    return area_mm2 * (to_nm / from_nm) ** 2
+
+
+@dataclass
+class AreaBreakdown:
+    """Per-component area of an accelerator configuration, in mm^2."""
+
+    components: dict[str, float]
+    technology_nm: int = 65
+
+    @property
+    def total_mm2(self) -> float:
+        return sum(self.components.values())
+
+    def scaled_to(self, to_nm: int) -> "AreaBreakdown":
+        """Return the breakdown scaled to a different technology node."""
+        scaled = {
+            name: scale_area(area, self.technology_nm, to_nm)
+            for name, area in self.components.items()
+        }
+        return AreaBreakdown(components=scaled, technology_nm=to_nm)
+
+    def sram_fraction(self) -> float:
+        """Fraction of total area contributed by SRAM buffers."""
+        sram_keys = ("i_buf_sparse", "hdn_id_list", "hdn_cache", "o_buf_dense")
+        sram = sum(self.components.get(key, 0.0) for key in sram_keys)
+        total = self.total_mm2
+        return sram / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.components, total=self.total_mm2)
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Analytical area model calibrated to the paper's 65 nm measurements.
+
+    Component areas are linear in their sizing parameter (bytes of SRAM,
+    number of MACs).  The HDN ID list is a CAM built from flip-flops, so its
+    per-byte cost is much higher than the SRAM-based buffers — the calibration
+    captures that automatically.
+    """
+
+    technology_nm: int = 65
+
+    def mac_array_area(self, num_macs: int) -> float:
+        return _PAPER_65NM_AREAS["mac_array"] * num_macs / _CAL_MACS
+
+    def sparse_buffer_area(self, capacity_bytes: int) -> float:
+        return _PAPER_65NM_AREAS["i_buf_sparse"] * capacity_bytes / _CAL_SPARSE_BYTES
+
+    def hdn_id_list_area(self, capacity_bytes: int) -> float:
+        return _PAPER_65NM_AREAS["hdn_id_list"] * capacity_bytes / _CAL_HDN_ID_BYTES
+
+    def hdn_cache_area(self, capacity_bytes: int) -> float:
+        return _PAPER_65NM_AREAS["hdn_cache"] * capacity_bytes / _CAL_HDN_CACHE_BYTES
+
+    def output_buffer_area(self, capacity_bytes: int) -> float:
+        return _PAPER_65NM_AREAS["o_buf_dense"] * capacity_bytes / _CAL_OBUF_BYTES
+
+    def others_area(self) -> float:
+        return _PAPER_65NM_AREAS["others"]
+
+    def breakdown(
+        self,
+        num_macs: int = _CAL_MACS,
+        sparse_buffer_bytes: int = _CAL_SPARSE_BYTES,
+        hdn_id_bytes: int = _CAL_HDN_ID_BYTES,
+        hdn_cache_bytes: int = _CAL_HDN_CACHE_BYTES,
+        output_buffer_bytes: int = _CAL_OBUF_BYTES,
+    ) -> AreaBreakdown:
+        """Area breakdown of a GROW configuration at this model's node."""
+        components = {
+            "mac_array": self.mac_array_area(num_macs),
+            "i_buf_sparse": self.sparse_buffer_area(sparse_buffer_bytes),
+            "hdn_id_list": self.hdn_id_list_area(hdn_id_bytes),
+            "hdn_cache": self.hdn_cache_area(hdn_cache_bytes),
+            "o_buf_dense": self.output_buffer_area(output_buffer_bytes),
+            "others": self.others_area(),
+        }
+        breakdown = AreaBreakdown(components=components, technology_nm=65)
+        if self.technology_nm != 65:
+            breakdown = breakdown.scaled_to(self.technology_nm)
+        return breakdown
+
+
+def grow_area_breakdown(technology_nm: int = 65, **sizing) -> AreaBreakdown:
+    """Convenience wrapper: area breakdown of a GROW configuration."""
+    return AreaModel(technology_nm=technology_nm).breakdown(**sizing)

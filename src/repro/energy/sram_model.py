@@ -1,0 +1,76 @@
+"""CACTI-like SRAM energy model.
+
+The paper uses CACTI at 45 nm for SRAM dynamic and leakage power.  We use a
+small analytical stand-in: dynamic energy per access grows roughly with the
+square root of the capacity (bit-line/word-line length), leakage power grows
+linearly with capacity.  Absolute constants are anchored to commonly quoted
+CACTI 45 nm numbers (a 64-byte read of an 8 KB SRAM costs about 20 pJ;
+leakage is about 1 mW per 32 KB), which keeps on-chip accesses roughly an
+order of magnitude cheaper per byte than DRAM — the relationship the paper's
+Figure 22 energy breakdown relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+KB = 1024
+
+# Anchor points for the analytical model (45 nm, from CACTI-style data).
+_REFERENCE_CAPACITY_BYTES = 8 * KB
+_REFERENCE_ACCESS_BYTES = 64
+_REFERENCE_ACCESS_ENERGY_PJ = 20.0
+_REFERENCE_LEAKAGE_MW_PER_KB = 1.0 / 32.0
+
+
+def sram_access_energy_pj(capacity_bytes: int, access_bytes: int = 64) -> float:
+    """Dynamic energy of one access to an SRAM of the given capacity.
+
+    Energy scales with sqrt(capacity) (array geometry) and linearly with the
+    number of bytes moved per access.
+    """
+    if capacity_bytes <= 0:
+        return 0.0
+    geometry_scale = math.sqrt(capacity_bytes / _REFERENCE_CAPACITY_BYTES)
+    width_scale = access_bytes / _REFERENCE_ACCESS_BYTES
+    return _REFERENCE_ACCESS_ENERGY_PJ * geometry_scale * width_scale
+
+
+def sram_leakage_mw(capacity_bytes: int) -> float:
+    """Leakage power of an SRAM of the given capacity, in milliwatts."""
+    if capacity_bytes <= 0:
+        return 0.0
+    return _REFERENCE_LEAKAGE_MW_PER_KB * (capacity_bytes / KB)
+
+
+@dataclass(frozen=True)
+class SRAMEnergyModel:
+    """Energy model bound to one SRAM buffer size.
+
+    Attributes:
+        capacity_bytes: SRAM capacity.
+        access_bytes: bytes moved per access event.
+    """
+
+    capacity_bytes: int
+    access_bytes: int = 64
+
+    @property
+    def access_energy_pj(self) -> float:
+        """Dynamic energy per access in picojoules."""
+        return sram_access_energy_pj(self.capacity_bytes, self.access_bytes)
+
+    @property
+    def leakage_mw(self) -> float:
+        """Leakage power in milliwatts."""
+        return sram_leakage_mw(self.capacity_bytes)
+
+    def dynamic_energy_nj(self, num_accesses: int) -> float:
+        """Dynamic energy of ``num_accesses`` accesses, in nanojoules."""
+        return self.access_energy_pj * num_accesses / 1e3
+
+    def leakage_energy_nj(self, runtime_cycles: float, frequency_ghz: float = 1.0) -> float:
+        """Leakage energy over a runtime, in nanojoules."""
+        seconds = runtime_cycles / (frequency_ghz * 1e9)
+        return self.leakage_mw * 1e-3 * seconds * 1e9

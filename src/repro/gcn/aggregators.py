@@ -1,0 +1,158 @@
+"""Advanced aggregation functions (paper Section VIII).
+
+The paper discusses how GROW extends beyond the plain GCN sum-aggregation to
+the aggregation functions of SAGEConv (mean / pool / LSTM over sampled
+neighbours), GIN (learnable central-node weighting, refactored into
+consecutive weight matrices) and GAT (attention).  This module provides
+
+* functional reference implementations of those aggregators, so the workload
+  substrate can express the corresponding models, and
+* :func:`grow_support_assessment`, the paper's applicability analysis: which
+  existing GROW structures execute each aggregator and what additional area
+  each one costs (a vector comparator array for pooling, a softmax unit for
+  attention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+# Additional area overheads quoted in the paper's Section VIII, as fractions
+# of the baseline GROW design.
+POOL_COMPARATOR_AREA_OVERHEAD = 0.014
+GAT_SOFTMAX_AREA_OVERHEAD = 0.017
+
+
+def sample_neighbors(
+    adjacency: CSRMatrix, num_samples: int, rng: np.random.Generator | None = None
+) -> list[np.ndarray]:
+    """Uniformly sample up to ``num_samples`` neighbours per node (GraphSAGE)."""
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    sampled: list[np.ndarray] = []
+    for i in range(adjacency.n_rows):
+        cols, _vals = adjacency.row(i)
+        if cols.size <= num_samples:
+            sampled.append(cols.copy())
+        else:
+            sampled.append(rng.choice(cols, size=num_samples, replace=False))
+    return sampled
+
+
+def mean_aggregate(adjacency: CSRMatrix, features: np.ndarray) -> np.ndarray:
+    """SAGEConv mean aggregator: average of the neighbours' feature vectors."""
+    features = np.asarray(features, dtype=np.float64)
+    out = np.zeros((adjacency.n_rows, features.shape[1]), dtype=np.float64)
+    for i in range(adjacency.n_rows):
+        cols, _vals = adjacency.row(i)
+        if cols.size:
+            out[i] = features[cols].mean(axis=0)
+    return out
+
+
+def max_pool_aggregate(adjacency: CSRMatrix, features: np.ndarray) -> np.ndarray:
+    """SAGEConv pool aggregator: element-wise max over the neighbours."""
+    features = np.asarray(features, dtype=np.float64)
+    out = np.zeros((adjacency.n_rows, features.shape[1]), dtype=np.float64)
+    for i in range(adjacency.n_rows):
+        cols, _vals = adjacency.row(i)
+        if cols.size:
+            out[i] = features[cols].max(axis=0)
+    return out
+
+
+def gin_aggregate(adjacency: CSRMatrix, features: np.ndarray, epsilon: float = 0.0) -> np.ndarray:
+    """GIN aggregation: ``(1 + eps) * x_v + sum of neighbour features``.
+
+    As the paper notes (following GCNAX), this refactors into the standard
+    sum-aggregation plus a scaled self term, so GROW supports it as-is.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    neighbor_sum = adjacency.matmul_dense(features)
+    return (1.0 + epsilon) * features + neighbor_sum
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax (the operator GAT's attention needs)."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def gat_attention_aggregate(
+    adjacency: CSRMatrix,
+    features: np.ndarray,
+    attention_src: np.ndarray,
+    attention_dst: np.ndarray,
+    leaky_relu_slope: float = 0.2,
+) -> np.ndarray:
+    """Single-head GAT aggregation with additive attention.
+
+    ``attention_src`` / ``attention_dst`` are the per-feature attention
+    vectors; the per-edge score is ``LeakyReLU(a_src . h_i + a_dst . h_j)``,
+    normalised with a softmax over each node's neighbourhood.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    src_score = features @ np.asarray(attention_src, dtype=np.float64)
+    dst_score = features @ np.asarray(attention_dst, dtype=np.float64)
+    out = np.zeros_like(features)
+    for i in range(adjacency.n_rows):
+        cols, _vals = adjacency.row(i)
+        if cols.size == 0:
+            continue
+        scores = src_score[i] + dst_score[cols]
+        scores = np.where(scores > 0, scores, leaky_relu_slope * scores)
+        weights = softmax(scores)
+        out[i] = weights @ features[cols]
+    return out
+
+
+@dataclass(frozen=True)
+class AggregatorSupport:
+    """GROW's support assessment for one aggregation function.
+
+    Attributes:
+        name: aggregator name.
+        supported_as_is: True when the existing MAC array executes it.
+        extra_structures: additional hardware needed, if any.
+        area_overhead_fraction: chip-wide area overhead of that hardware.
+    """
+
+    name: str
+    supported_as_is: bool
+    extra_structures: tuple[str, ...]
+    area_overhead_fraction: float
+
+
+def grow_support_assessment() -> dict[str, AggregatorSupport]:
+    """The paper's Section VIII applicability table as structured data."""
+    return {
+        "gcn_sum": AggregatorSupport("gcn_sum", True, (), 0.0),
+        "sage_mean": AggregatorSupport("sage_mean", True, (), 0.0),
+        "sage_lstm": AggregatorSupport("sage_lstm", True, (), 0.0),
+        "sage_pool": AggregatorSupport(
+            "sage_pool", False, ("vector comparator array",), POOL_COMPARATOR_AREA_OVERHEAD
+        ),
+        "gin": AggregatorSupport("gin", True, (), 0.0),
+        "gat": AggregatorSupport(
+            "gat", False, ("softmax unit",), GAT_SOFTMAX_AREA_OVERHEAD
+        ),
+    }
+
+
+def area_with_aggregator_support(base_area_mm2: float, aggregators: tuple[str, ...]) -> float:
+    """GROW area after adding the structures the named aggregators require."""
+    assessment = grow_support_assessment()
+    overhead = 0.0
+    for name in aggregators:
+        if name not in assessment:
+            raise KeyError(f"unknown aggregator {name!r}; known: {sorted(assessment)}")
+        overhead += assessment[name].area_overhead_fraction
+    return base_area_mm2 * (1.0 + overhead)

@@ -1,0 +1,168 @@
+"""GCN layer and model descriptions.
+
+A :class:`GCNLayer` bundles everything one graph-convolution layer needs:
+the normalised adjacency A (sparse), the input feature matrix X (sparse or
+dense, per Table I), and the weight matrix W (dense).  A :class:`GCNModel`
+stacks layers, threading each layer's output features into the next layer's
+input, which is how multi-layer inference is simulated end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gcn.features import generate_feature_matrix, generate_weight_matrix
+from repro.graph.datasets import SyntheticDataset
+from repro.graph.graph import Graph
+from repro.sparse.convert import dense_to_csr
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class GCNLayer:
+    """One graph-convolution layer, ``X_out = sigma(A @ X @ W)``.
+
+    Attributes:
+        adjacency: normalised adjacency matrix A in CSR form.
+        features: input feature matrix X as a dense array (its sparsity is
+            captured separately in :attr:`features_csr`).
+        weight: dense weight matrix W.
+        name: label used in reports (e.g. ``"cora-layer0"``).
+        apply_relu: whether the non-linearity is applied to the output.
+    """
+
+    adjacency: CSRMatrix
+    features: np.ndarray
+    weight: np.ndarray
+    name: str = "layer"
+    apply_relu: bool = True
+    _features_csr: CSRMatrix | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        n = self.adjacency.n_rows
+        if self.adjacency.n_cols != n:
+            raise ValueError("adjacency matrix must be square")
+        if self.features.shape[0] != n:
+            raise ValueError(
+                f"feature rows ({self.features.shape[0]}) must equal number of nodes ({n})"
+            )
+        if self.weight.shape[0] != self.features.shape[1]:
+            raise ValueError(
+                "weight rows must equal feature columns: "
+                f"{self.weight.shape[0]} vs {self.features.shape[1]}"
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.n_rows
+
+    @property
+    def in_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def features_csr(self) -> CSRMatrix:
+        """The input feature matrix compressed in CSR (X of combination)."""
+        if self._features_csr is None:
+            self._features_csr = dense_to_csr(self.features)
+        return self._features_csr
+
+    @property
+    def feature_density(self) -> float:
+        """Measured density of the input feature matrix."""
+        return self.features_csr.density
+
+    def combination(self) -> np.ndarray:
+        """The combination product ``XW`` (dense)."""
+        return self.features @ self.weight
+
+    def forward(self) -> np.ndarray:
+        """Reference forward pass ``sigma(A (X W))``."""
+        xw = self.combination()
+        out = self.adjacency.matmul_dense(xw)
+        if self.apply_relu:
+            out = np.maximum(out, 0.0)
+        return out
+
+
+@dataclass
+class GCNModel:
+    """A stack of GCN layers sharing one adjacency matrix."""
+
+    layers: list[GCNLayer]
+    name: str = "gcn"
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("model must have at least one layer")
+        for prev, nxt in zip(self.layers, self.layers[1:]):
+            if prev.out_features != nxt.in_features:
+                raise ValueError(
+                    f"layer width mismatch: {prev.name} outputs {prev.out_features}, "
+                    f"{nxt.name} expects {nxt.in_features}"
+                )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.layers[0].num_nodes
+
+    def forward(self) -> np.ndarray:
+        """Reference end-to-end forward pass, re-threading features layer to layer."""
+        activations = self.layers[0].features
+        for index, layer in enumerate(self.layers):
+            working = GCNLayer(
+                adjacency=layer.adjacency,
+                features=activations,
+                weight=layer.weight,
+                name=layer.name,
+                apply_relu=layer.apply_relu,
+            )
+            activations = working.forward()
+        return activations
+
+
+def build_model_for_dataset(
+    dataset: SyntheticDataset,
+    seed: int = 0,
+    graph: Graph | None = None,
+) -> GCNModel:
+    """Construct a GCN model matching a dataset's published configuration.
+
+    The feature widths and feature densities come from the dataset spec
+    (Table I).  Layer 1's input features are generated at the published X(1)
+    density rather than taken from layer 0's output, so each layer's sparsity
+    structure matches the paper's characterisation independently of the
+    numerical forward pass.
+    """
+    rng = np.random.default_rng(seed)
+    source_graph = graph if graph is not None else dataset.graph
+    adjacency = source_graph.normalized_adjacency()
+    layers: list[GCNLayer] = []
+    widths = dataset.feature_lengths
+    for layer_idx in range(dataset.num_layers):
+        in_width, out_width = widths[layer_idx], widths[layer_idx + 1]
+        density = dataset.feature_density(layer_idx)
+        features = generate_feature_matrix(dataset.num_nodes, in_width, density, rng)
+        weight = generate_weight_matrix(in_width, out_width, rng)
+        layers.append(
+            GCNLayer(
+                adjacency=adjacency,
+                features=features,
+                weight=weight,
+                name=f"{dataset.name}-layer{layer_idx}",
+                apply_relu=layer_idx < dataset.num_layers - 1,
+            )
+        )
+    return GCNModel(layers=layers, name=dataset.name)

@@ -1,0 +1,65 @@
+"""Graph substrate: containers, synthetic generators, partitioning, statistics.
+
+The paper evaluates GROW on eight public graph datasets (Cora through
+Amazon).  Because this reproduction runs offline, :mod:`repro.graph.datasets`
+provides synthetic stand-ins whose statistics (node count, average degree,
+adjacency density, power-law degree distribution, community structure) match
+the published values of Table I, with a ``scale`` knob so experiments finish
+quickly.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    powerlaw_degree_sequence,
+)
+from repro.graph.datasets import (
+    DATASET_NAMES,
+    DatasetSpec,
+    SyntheticDataset,
+    dataset_spec,
+    load_dataset,
+    load_all_datasets,
+)
+from repro.graph.partition import (
+    PartitionResult,
+    bfs_partition,
+    metis_like_partition,
+    partition_edge_cut,
+    partition_graph,
+)
+from repro.graph.reorder import cluster_reorder, degree_sort_reorder, identity_reorder
+from repro.graph.stats import (
+    degree_distribution,
+    degree_stats,
+    gini_coefficient,
+    powerlaw_fit_exponent,
+)
+
+__all__ = [
+    "Graph",
+    "chung_lu_graph",
+    "erdos_renyi_graph",
+    "powerlaw_cluster_graph",
+    "powerlaw_degree_sequence",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "SyntheticDataset",
+    "dataset_spec",
+    "load_dataset",
+    "load_all_datasets",
+    "PartitionResult",
+    "bfs_partition",
+    "metis_like_partition",
+    "partition_edge_cut",
+    "partition_graph",
+    "cluster_reorder",
+    "degree_sort_reorder",
+    "identity_reorder",
+    "degree_distribution",
+    "degree_stats",
+    "gini_coefficient",
+    "powerlaw_fit_exponent",
+]

@@ -1,0 +1,222 @@
+"""Synthetic graph generators.
+
+Real-world graphs studied by the paper follow power-law degree distributions
+and exhibit community structure; both properties are what GROW's HDN cache
+and graph-partitioning pass exploit.  The generators here produce graphs with
+controlled node count, average degree, degree-distribution skew and
+community structure so the dataset stand-ins in :mod:`repro.graph.datasets`
+can mimic each of the paper's eight workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def powerlaw_degree_sequence(
+    num_nodes: int,
+    average_degree: float,
+    exponent: float = 2.1,
+    rng: np.random.Generator | None = None,
+    max_degree: int | None = None,
+) -> np.ndarray:
+    """Draw a power-law degree sequence with a target mean.
+
+    Degrees are sampled from a Pareto-like distribution with the given
+    exponent and then rescaled so the empirical mean matches
+    ``average_degree``.  The heaviest nodes are clipped to ``max_degree``
+    (default: ``num_nodes - 1``).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if average_degree <= 0:
+        raise ValueError("average_degree must be positive")
+    raw = (1.0 - rng.random(num_nodes)) ** (-1.0 / (exponent - 1.0))
+    raw *= average_degree / raw.mean()
+    degrees = np.maximum(1, np.round(raw)).astype(np.int64)
+    cap = max_degree if max_degree is not None else num_nodes - 1
+    cap = max(1, cap)
+    degrees = np.minimum(degrees, cap)
+    return degrees
+
+
+def chung_lu_graph(
+    num_nodes: int,
+    average_degree: float,
+    exponent: float = 2.1,
+    num_communities: int = 1,
+    intra_community_prob: float = 0.8,
+    rng: np.random.Generator | None = None,
+    name: str = "chung-lu",
+    max_degree: int | None = None,
+) -> Graph:
+    """Power-law graph with optional planted community structure.
+
+    Edges are sampled with probability proportional to the product of the
+    endpoints' target degrees (the Chung-Lu model).  When
+    ``num_communities > 1``, a fraction ``intra_community_prob`` of each
+    node's edges is drawn from its own community, giving the graph the
+    clustered structure that makes graph partitioning effective.  The planted
+    community of every node is recorded on the returned graph's
+    ``communities`` attribute.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if max_degree is None:
+        # Cap hub degrees the way real graphs do: the heaviest node touches a
+        # few percent of the graph, not (nearly) all of it.
+        max_degree = int(min(num_nodes - 1, max(50, 12 * average_degree, num_nodes * 0.04)))
+    degrees = powerlaw_degree_sequence(num_nodes, average_degree, exponent, rng, max_degree=max_degree)
+    community = rng.integers(0, max(1, num_communities), size=num_nodes)
+
+    # Pre-compute, per community, the node list and a degree-proportional
+    # cumulative distribution so endpoint selection is a batched searchsorted.
+    # Intra-community draws use a softened (square-root) degree bias so the
+    # community structure is not washed out by the global hubs.
+    weights = degrees.astype(np.float64)
+    global_cdf = np.cumsum(weights)
+    global_cdf /= global_cdf[-1]
+    community_members: list[np.ndarray] = []
+    community_cdfs: list[np.ndarray] = []
+    for c in range(max(1, num_communities)):
+        members = np.where(community == c)[0]
+        if members.size == 0:
+            members = np.arange(num_nodes)
+        cdf = np.cumsum(np.sqrt(weights[members]))
+        cdf /= cdf[-1]
+        community_members.append(members)
+        community_cdfs.append(cdf)
+
+    def _sample_batch(batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sample one batch of candidate edges (may contain duplicates)."""
+        src = np.searchsorted(global_cdf, rng.random(batch_size)).astype(np.int64)
+        dst = np.empty(batch_size, dtype=np.int64)
+        intra = rng.random(batch_size) < intra_community_prob
+        inter_mask = ~intra if num_communities > 1 else np.ones(batch_size, dtype=bool)
+        n_inter = int(inter_mask.sum())
+        if n_inter:
+            dst[inter_mask] = np.searchsorted(global_cdf, rng.random(n_inter))
+        if num_communities > 1:
+            src_community = community[src]
+            for c in range(num_communities):
+                mask = intra & (src_community == c)
+                count = int(mask.sum())
+                if count == 0:
+                    continue
+                picks = np.searchsorted(community_cdfs[c], rng.random(count))
+                dst[mask] = community_members[c][picks]
+        # Remove self loops by redirecting them to a random other node.
+        loops = src == dst
+        if loops.any():
+            dst[loops] = (
+                dst[loops] + 1 + rng.integers(0, num_nodes - 1, size=int(loops.sum()))
+            ) % num_nodes
+        return src, dst
+
+    # Degree-proportional sampling concentrates edges on hub nodes, so many
+    # draws collide with already-sampled edges.  Sample in rounds until the
+    # number of *unique* undirected edges reaches the target implied by the
+    # requested average degree (bounded to avoid pathological loops).
+    target_edges = max(1, int(round(num_nodes * average_degree / 2)))
+    unique_keys = np.empty(0, dtype=np.int64)
+    for _round in range(12):
+        remaining = target_edges - unique_keys.size
+        if remaining <= 0:
+            break
+        batch = max(256, int(remaining * 1.5))
+        src, dst = _sample_batch(batch)
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        keys = lo * np.int64(num_nodes) + hi
+        unique_keys = np.unique(np.concatenate([unique_keys, keys]))
+    if unique_keys.size > target_edges:
+        unique_keys = rng.permutation(unique_keys)[:target_edges]
+    src = (unique_keys // num_nodes).astype(np.int64)
+    dst = (unique_keys % num_nodes).astype(np.int64)
+    return Graph(
+        num_nodes=num_nodes,
+        src=src,
+        dst=dst,
+        name=name,
+        undirected=True,
+        communities=community.astype(np.int64),
+    )
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    average_degree: float,
+    rng: np.random.Generator | None = None,
+    name: str = "erdos-renyi",
+) -> Graph:
+    """Uniform random graph (no power law); used for non-power-law studies."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    num_edges = max(1, int(round(num_nodes * average_degree / 2)))
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    loops = src == dst
+    if loops.any():
+        dst[loops] = (dst[loops] + 1) % num_nodes
+    return Graph(num_nodes=num_nodes, src=src, dst=dst, name=name, undirected=True)
+
+
+def powerlaw_cluster_graph(
+    num_nodes: int,
+    average_degree: float,
+    triangle_prob: float = 0.3,
+    rng: np.random.Generator | None = None,
+    name: str = "powerlaw-cluster",
+) -> Graph:
+    """Holme-Kim style preferential-attachment graph with triangle closure.
+
+    Produces both a power-law degree distribution and high clustering, which
+    is representative of citation networks (Cora/Citeseer/Pubmed).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    m = max(1, int(round(average_degree / 2)))
+    if num_nodes <= m:
+        raise ValueError("num_nodes must exceed average_degree / 2")
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    # Repeated-target list implements preferential attachment: nodes appear
+    # once per incident edge, so sampling uniformly from it is degree-biased.
+    targets = list(range(m))
+    repeated: list[int] = list(range(m))
+    for new_node in range(m, num_nodes):
+        chosen: set[int] = set()
+        first_target: int | None = None
+        while len(chosen) < m:
+            if first_target is not None and rng.random() < triangle_prob and repeated:
+                # Triangle step: connect to a random neighbour of the previous target.
+                neighbor_pool = [
+                    d for s, d in zip(src_list, dst_list) if s == first_target
+                ] + [s for s, d in zip(src_list, dst_list) if d == first_target]
+                if neighbor_pool:
+                    candidate = int(rng.choice(neighbor_pool))
+                else:
+                    candidate = int(rng.choice(repeated))
+            else:
+                candidate = int(rng.choice(repeated)) if repeated else int(rng.integers(0, new_node))
+            if candidate != new_node and candidate not in chosen:
+                chosen.add(candidate)
+                if first_target is None:
+                    first_target = candidate
+        for target in chosen:
+            src_list.append(new_node)
+            dst_list.append(target)
+            repeated.append(new_node)
+            repeated.append(target)
+        targets.append(new_node)
+    return Graph(
+        num_nodes=num_nodes,
+        src=np.asarray(src_list, dtype=np.int64),
+        dst=np.asarray(dst_list, dtype=np.int64),
+        name=name,
+        undirected=True,
+    )

@@ -1,0 +1,184 @@
+"""Graph container built on the sparse-matrix substrate.
+
+A :class:`Graph` owns the adjacency structure of an (undirected or directed)
+graph and produces the normalised adjacency matrix used by GCN inference,
+``A_hat = D^{-1/2} (A + I) D^{-1/2}`` (Kipf & Welling normalisation), which
+the paper treats as the sparse LHS of the aggregation SpDeGEMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class Graph:
+    """A graph described by an edge list.
+
+    Attributes:
+        num_nodes: number of vertices; node ids are ``0 .. num_nodes - 1``.
+        src: source node of each edge.
+        dst: destination node of each edge.
+        name: optional human-readable name of the dataset the graph models.
+        undirected: when True, each stored edge represents both directions.
+        communities: optional ground-truth community label per node (synthetic
+            generators record the planted communities here so tests and
+            oracle partitioning experiments can use them).
+    """
+
+    num_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+    name: str = "graph"
+    undirected: bool = True
+    communities: np.ndarray | None = field(default=None, compare=False)
+    _adjacency_cache: CSRMatrix | None = field(default=None, repr=False, compare=False)
+    _normalized_cache: CSRMatrix | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src and dst must have the same length")
+        if self.num_nodes <= 0:
+            raise ValueError("graph must have at least one node")
+        if self.src.size:
+            if self.src.min() < 0 or self.src.max() >= self.num_nodes:
+                raise ValueError("src node id out of range")
+            if self.dst.min() < 0 or self.dst.max() >= self.num_nodes:
+                raise ValueError("dst node id out of range")
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges in the adjacency matrix.
+
+        For undirected graphs this counts both directions, matching how the
+        paper reports edge counts for its datasets (Table I counts non-zeros
+        of the adjacency matrix).
+        """
+        return int(self.adjacency().nnz)
+
+    @property
+    def average_degree(self) -> float:
+        """Average out-degree of the adjacency matrix."""
+        return self.num_edges / self.num_nodes
+
+    def adjacency(self) -> CSRMatrix:
+        """The (binary, deduplicated) adjacency matrix in CSR format."""
+        if self._adjacency_cache is None:
+            src, dst = self.src, self.dst
+            if self.undirected:
+                src = np.concatenate([self.src, self.dst])
+                dst = np.concatenate([self.dst, self.src])
+            coo = COOMatrix(
+                shape=(self.num_nodes, self.num_nodes),
+                rows=src,
+                cols=dst,
+                vals=np.ones(src.size, dtype=np.float64),
+            )
+            csr = coo_to_csr(coo)
+            # Binarise: duplicate edges in the generator collapse to one.
+            csr = CSRMatrix(
+                shape=csr.shape,
+                indptr=csr.indptr,
+                indices=csr.indices,
+                data=np.ones_like(csr.data),
+            )
+            self._adjacency_cache = csr
+        return self._adjacency_cache
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every node (row non-zero counts of the adjacency)."""
+        return self.adjacency().row_nnz()
+
+    def normalized_adjacency(self, add_self_loops: bool = True) -> CSRMatrix:
+        """Symmetrically normalised adjacency ``D^{-1/2}(A + I)D^{-1/2}``.
+
+        The paper performs this normalisation offline as a one-time
+        preprocessing step; we do the same and cache the result.
+        """
+        if self._normalized_cache is not None and add_self_loops:
+            return self._normalized_cache
+        adj = self.adjacency()
+        n = self.num_nodes
+        rows = np.repeat(np.arange(n), adj.row_nnz())
+        cols = adj.indices.copy()
+        vals = adj.data.copy()
+        if add_self_loops:
+            rows = np.concatenate([rows, np.arange(n)])
+            cols = np.concatenate([cols, np.arange(n)])
+            vals = np.concatenate([vals, np.ones(n)])
+        coo = COOMatrix(shape=(n, n), rows=rows, cols=cols, vals=vals).deduplicate()
+        degree = np.bincount(coo.rows, weights=coo.vals, minlength=n)
+        inv_sqrt = np.zeros(n)
+        nonzero = degree > 0
+        inv_sqrt[nonzero] = 1.0 / np.sqrt(degree[nonzero])
+        normalized_vals = coo.vals * inv_sqrt[coo.rows] * inv_sqrt[coo.cols]
+        result = coo_to_csr(
+            COOMatrix(shape=(n, n), rows=coo.rows, cols=coo.cols, vals=normalized_vals)
+        )
+        if add_self_loops:
+            self._normalized_cache = result
+        return result
+
+    def relabel(self, permutation: np.ndarray, name_suffix: str = "-relabel") -> "Graph":
+        """Return a new graph with node ids renumbered by ``permutation``.
+
+        ``permutation[i]`` is the new id of old node ``i``.  This is the
+        operation that graph partitioning performs: the topology is unchanged,
+        only node ids (hence the adjacency-matrix layout) change.
+        """
+        permutation = np.asarray(permutation, dtype=np.int64)
+        if permutation.size != self.num_nodes:
+            raise ValueError("permutation length must equal num_nodes")
+        if np.sort(permutation).tolist() != list(range(self.num_nodes)):
+            raise ValueError("permutation must be a bijection over node ids")
+        communities = None
+        if self.communities is not None:
+            communities = np.empty_like(self.communities)
+            communities[permutation] = self.communities
+        return Graph(
+            num_nodes=self.num_nodes,
+            src=permutation[self.src],
+            dst=permutation[self.dst],
+            name=self.name + name_suffix,
+            undirected=self.undirected,
+            communities=communities,
+        )
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbour ids of ``node`` in the adjacency matrix."""
+        cols, _ = self.adjacency().row(node)
+        return cols
+
+    def to_networkx(self):
+        """Export to a :mod:`networkx` graph (for cross-checking in tests)."""
+        import networkx as nx
+
+        g = nx.Graph() if self.undirected else nx.DiGraph()
+        g.add_nodes_from(range(self.num_nodes))
+        g.add_edges_from(zip(self.src.tolist(), self.dst.tolist()))
+        return g
+
+    @classmethod
+    def from_edge_list(
+        cls, num_nodes: int, edges: list[tuple[int, int]], name: str = "graph", undirected: bool = True
+    ) -> "Graph":
+        """Build a graph from a Python list of ``(src, dst)`` tuples."""
+        if edges:
+            src, dst = zip(*edges)
+        else:
+            src, dst = (), ()
+        return cls(
+            num_nodes=num_nodes,
+            src=np.asarray(src, dtype=np.int64),
+            dst=np.asarray(dst, dtype=np.int64),
+            name=name,
+            undirected=undirected,
+        )

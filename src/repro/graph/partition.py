@@ -1,0 +1,243 @@
+"""Graph partitioning: the software preprocessing pass of GROW.
+
+The paper uses METIS to partition the input graph into clusters so that
+intra-cluster edges dominate, then renumbers nodes cluster-by-cluster.  After
+renumbering, the non-zeros of the adjacency matrix concentrate near the block
+diagonal (paper Figure 14), which is what makes GROW's per-cluster HDN
+caching effective.
+
+Two partitioners are provided:
+
+* :func:`metis_like_partition` — the default: community detection by label
+  propagation, followed by balanced packing of communities into the requested
+  number of clusters and a boundary-refinement pass.  Like METIS it produces
+  balanced clusters whose intra-cluster edges dominate.
+* :func:`bfs_partition` — a simple BFS-grown clustering used as a cheap
+  fallback and as a comparison point in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of partitioning a graph.
+
+    Attributes:
+        assignment: ``assignment[i]`` is the cluster id of node ``i``.
+        num_clusters: number of clusters actually produced.
+        permutation: ``permutation[i]`` is the new node id of old node ``i``
+            after cluster-by-cluster renumbering (cluster 0's nodes first).
+        cluster_sizes: number of nodes in each cluster.
+    """
+
+    assignment: np.ndarray
+    num_clusters: int
+    permutation: np.ndarray
+    cluster_sizes: np.ndarray
+
+    def cluster_slices(self) -> list[tuple[int, int]]:
+        """Half-open new-node-id ranges ``[start, end)`` of each cluster."""
+        bounds = np.concatenate([[0], np.cumsum(self.cluster_sizes)])
+        return [(int(bounds[i]), int(bounds[i + 1])) for i in range(self.num_clusters)]
+
+
+def _build_permutation(assignment: np.ndarray, num_clusters: int) -> tuple[np.ndarray, np.ndarray]:
+    """Derive the renumbering permutation and cluster sizes from an assignment."""
+    order = np.argsort(assignment, kind="stable")
+    permutation = np.empty_like(order)
+    permutation[order] = np.arange(order.size)
+    sizes = np.bincount(assignment, minlength=num_clusters)
+    return permutation, sizes
+
+
+def _single_cluster_result(num_nodes: int) -> PartitionResult:
+    assignment = np.zeros(num_nodes, dtype=np.int64)
+    permutation, sizes = _build_permutation(assignment, 1)
+    return PartitionResult(
+        assignment=assignment, num_clusters=1, permutation=permutation, cluster_sizes=sizes
+    )
+
+
+def bfs_partition(graph: Graph, num_clusters: int, seed: int = 0) -> PartitionResult:
+    """Grow balanced clusters by breadth-first search from random seeds."""
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    n = graph.num_nodes
+    num_clusters = min(num_clusters, n)
+    if num_clusters == 1:
+        return _single_cluster_result(n)
+    target = int(np.ceil(n / num_clusters))
+    adj = graph.adjacency()
+    rng = np.random.default_rng(seed)
+    assignment = np.full(n, -1, dtype=np.int64)
+    visit_order = rng.permutation(n)
+    cluster = 0
+    filled = 0
+    cluster_fill = 0
+    frontier: list[int] = []
+    next_seed_idx = 0
+    while filled < n:
+        if not frontier or cluster_fill >= target:
+            if cluster_fill >= target and cluster < num_clusters - 1:
+                cluster += 1
+                cluster_fill = 0
+                frontier = []
+            while next_seed_idx < n and assignment[visit_order[next_seed_idx]] != -1:
+                next_seed_idx += 1
+            if next_seed_idx >= n:
+                break
+            frontier = [int(visit_order[next_seed_idx])]
+        node = frontier.pop()
+        if assignment[node] != -1:
+            continue
+        assignment[node] = cluster
+        filled += 1
+        cluster_fill += 1
+        cols, _ = adj.row(node)
+        for neighbor in cols:
+            if assignment[neighbor] == -1:
+                frontier.append(int(neighbor))
+    assignment[assignment == -1] = num_clusters - 1
+    permutation, sizes = _build_permutation(assignment, num_clusters)
+    return PartitionResult(
+        assignment=assignment, num_clusters=num_clusters, permutation=permutation, cluster_sizes=sizes
+    )
+
+
+def _label_propagation(graph: Graph, rng: np.random.Generator, max_sweeps: int = 10) -> np.ndarray:
+    """Community detection by asynchronous label propagation.
+
+    Every node repeatedly adopts the label most common among its neighbours;
+    on real-world (and the synthetic community-structured) graphs this
+    converges in a handful of sweeps to the underlying communities.
+    """
+    adj = graph.adjacency()
+    n = graph.num_nodes
+    labels = np.arange(n, dtype=np.int64)
+    indptr, indices = adj.indptr, adj.indices
+    for _sweep in range(max_sweeps):
+        changed = 0
+        for node in rng.permutation(n):
+            start, end = indptr[node], indptr[node + 1]
+            if end == start:
+                continue
+            neighbor_labels = labels[indices[start:end]]
+            counts = np.bincount(neighbor_labels)
+            best = int(np.argmax(counts))
+            if counts[best] > 0 and best != labels[node]:
+                labels[node] = best
+                changed += 1
+        if changed < max(1, n // 200):
+            break
+    return labels
+
+
+def _pack_communities(
+    labels: np.ndarray, num_clusters: int, capacity: float
+) -> np.ndarray:
+    """Pack communities into ``num_clusters`` balanced clusters.
+
+    Communities larger than the capacity are split; the rest are assigned to
+    the least-loaded cluster, largest first, so cluster sizes stay balanced.
+    """
+    n = labels.size
+    assignment = np.full(n, -1, dtype=np.int64)
+    loads = np.zeros(num_clusters, dtype=np.int64)
+    unique_labels, counts = np.unique(labels, return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    for label_idx in order:
+        label = unique_labels[label_idx]
+        members = np.where(labels == label)[0]
+        offset = 0
+        while offset < members.size:
+            target = int(np.argmin(loads))
+            room = int(max(1, capacity - loads[target]))
+            chunk = members[offset : offset + room]
+            assignment[chunk] = target
+            loads[target] += chunk.size
+            offset += chunk.size
+    return assignment
+
+
+def _refine_boundary(
+    graph: Graph, assignment: np.ndarray, num_clusters: int, capacity: float, passes: int = 2
+) -> np.ndarray:
+    """Greedy boundary refinement: move nodes that reduce the edge cut."""
+    adj = graph.adjacency()
+    indptr, indices = adj.indptr, adj.indices
+    assignment = assignment.copy()
+    loads = np.bincount(assignment, minlength=num_clusters).astype(np.int64)
+    for _sweep in range(passes):
+        moved = 0
+        for node in range(graph.num_nodes):
+            start, end = indptr[node], indptr[node + 1]
+            if end == start:
+                continue
+            current = assignment[node]
+            votes = np.bincount(assignment[indices[start:end]], minlength=num_clusters)
+            best = int(np.argmax(votes))
+            if best != current and votes[best] > votes[current] and loads[best] + 1 <= capacity:
+                assignment[node] = best
+                loads[current] -= 1
+                loads[best] += 1
+                moved += 1
+        if moved == 0:
+            break
+    return assignment
+
+
+def metis_like_partition(
+    graph: Graph,
+    num_clusters: int,
+    seed: int = 0,
+    balance_slack: float = 1.25,
+    refinement_passes: int = 2,
+) -> PartitionResult:
+    """Community-preserving balanced partitioning (the METIS stand-in).
+
+    Three stages: (1) label propagation finds the graph's communities,
+    (2) communities are packed into ``num_clusters`` clusters of roughly equal
+    size (communities larger than a cluster are split), (3) a boundary
+    refinement pass moves individual nodes that have more neighbours in
+    another cluster, subject to a balance constraint of ``balance_slack``
+    times the ideal cluster size.
+    """
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    n = graph.num_nodes
+    num_clusters = min(num_clusters, n)
+    if num_clusters == 1:
+        return _single_cluster_result(n)
+    rng = np.random.default_rng(seed)
+    capacity = balance_slack * n / num_clusters
+    labels = _label_propagation(graph, rng)
+    assignment = _pack_communities(labels, num_clusters, capacity)
+    assignment = _refine_boundary(graph, assignment, num_clusters, capacity, passes=refinement_passes)
+    permutation, sizes = _build_permutation(assignment, num_clusters)
+    return PartitionResult(
+        assignment=assignment, num_clusters=num_clusters, permutation=permutation, cluster_sizes=sizes
+    )
+
+
+def partition_graph(graph: Graph, num_clusters: int, method: str = "metis", seed: int = 0) -> PartitionResult:
+    """Partition a graph with the named method (``"metis"`` or ``"bfs"``)."""
+    if method == "metis":
+        return metis_like_partition(graph, num_clusters, seed=seed)
+    if method == "bfs":
+        return bfs_partition(graph, num_clusters, seed=seed)
+    raise ValueError(f"unknown partition method {method!r}")
+
+
+def partition_edge_cut(graph: Graph, assignment: np.ndarray) -> int:
+    """Number of (directed) adjacency non-zeros crossing cluster boundaries."""
+    adj = graph.adjacency()
+    assignment = np.asarray(assignment)
+    row_ids = np.repeat(np.arange(adj.n_rows), adj.row_nnz())
+    return int((assignment[row_ids] != assignment[adj.indices]).sum())

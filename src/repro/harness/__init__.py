@@ -1,0 +1,33 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Every experiment is a named function registered in
+:mod:`repro.harness.experiments`; ``run_experiment(name)`` executes it over
+the synthetic dataset suite and returns an :class:`ExperimentResult` whose
+rows mirror the paper's table/figure series.
+
+Example::
+
+    from repro.harness import run_experiment, list_experiments
+    print(list_experiments())
+    print(run_experiment("fig20_speedup").to_table())
+"""
+
+from repro.harness.config import ExperimentConfig, default_config
+from repro.harness.report import ExperimentResult, format_table
+from repro.harness.registry import list_experiments, run_experiment, get_experiment
+from repro.harness import experiments as _experiments  # noqa: F401  (registers experiments)
+from repro.harness import discussion as _discussion  # noqa: F401  (registers Section VIII studies)
+from repro.harness.workloads import WorkloadBundle, clear_caches, get_bundle
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "ExperimentResult",
+    "format_table",
+    "list_experiments",
+    "run_experiment",
+    "get_experiment",
+    "WorkloadBundle",
+    "get_bundle",
+    "clear_caches",
+]

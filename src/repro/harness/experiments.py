@@ -1,0 +1,594 @@
+"""The experiment suite: one registered function per paper table/figure.
+
+Every experiment consumes an :class:`~repro.harness.config.ExperimentConfig`,
+builds (cached) workload bundles for the configured datasets, runs the
+relevant simulators and returns an
+:class:`~repro.harness.report.ExperimentResult` whose rows mirror the paper's
+series.  Absolute values differ from the paper (synthetic scaled datasets,
+analytical timing); the orderings and approximate ratios are the reproduction
+target — see EXPERIMENTS.md for the side-by-side record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.gamma import GAMMASimulator
+from repro.accelerators.gcnax import GCNAXSimulator
+from repro.accelerators.matraptor import MatRaptorSimulator
+from repro.analysis.breakdown import latency_breakdown
+from repro.analysis.sparsity import characterize_dataset, layer_matrix_densities
+from repro.analysis.tiles import effective_bandwidth_utilization, tile_nnz_bins
+from repro.core.accelerator import GrowSimulator
+from repro.core.multi_pe import MultiPEGrowSimulator
+from repro.energy.area import GCNAX_AREA_MM2_40NM, grow_area_breakdown
+from repro.energy.energy_model import estimate_energy
+from repro.gcn.ops_count import layer_mac_counts
+from repro.harness.config import ExperimentConfig
+from repro.harness.registry import register
+from repro.harness.report import ExperimentResult
+from repro.harness.sweep import bandwidth_sweep_cycles, runahead_sweep_cycles
+from repro.harness.workloads import WorkloadBundle, get_bundle
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+def _grow_results(config: ExperimentConfig, bundle: WorkloadBundle, partitioned: bool = True, **overrides):
+    simulator = GrowSimulator(config.grow_config(**overrides))
+    plan = bundle.plan if partitioned else bundle.plan_unpartitioned
+    return simulator.run_model(bundle.workloads, plan)
+
+
+def _gcnax_results(config: ExperimentConfig, bundle: WorkloadBundle):
+    return GCNAXSimulator(config.gcnax_config()).run_model(bundle.workloads)
+
+
+def _geomean(values: list[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+# ----------------------------------------------------------------------
+# Table I — dataset characterisation
+# ----------------------------------------------------------------------
+
+@register("table1_datasets")
+def table1_datasets(config: ExperimentConfig) -> ExperimentResult:
+    """Structure and key features of the (synthetic) graph datasets."""
+    result = ExperimentResult(
+        name="table1_datasets",
+        paper_reference="Table I",
+        description="Measured statistics of the synthetic dataset stand-ins",
+        columns=[],
+        notes=[
+            "Node counts are the scaled synthetic sizes; densities and degree "
+            "orderings mirror the published datasets (see DESIGN.md)."
+        ],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        row = characterize_dataset(bundle.dataset, bundle.model).as_row()
+        result.add_row(**row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — MAC operations vs execution order
+# ----------------------------------------------------------------------
+
+@register("fig2_mac_ops")
+def fig2_mac_ops(config: ExperimentConfig) -> ExperimentResult:
+    """Normalised MAC counts of (AX)W vs A(XW) per dataset."""
+    result = ExperimentResult(
+        name="fig2_mac_ops",
+        paper_reference="Figure 2",
+        description="MAC operations of both execution orders, normalised to (AX)W",
+        columns=["dataset", "macs_ax_w", "macs_a_xw", "a_xw_normalized"],
+        notes=["A(XW) should never exceed (AX)W, matching the paper's choice of order."],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        totals_ax_w = 0
+        totals_a_xw = 0
+        for layer in bundle.model.layers:
+            counts = layer_mac_counts(layer)
+            totals_ax_w += counts.ax_then_w
+            totals_a_xw += counts.a_then_xw
+        result.add_row(
+            dataset=name,
+            macs_ax_w=totals_ax_w,
+            macs_a_xw=totals_a_xw,
+            a_xw_normalized=totals_a_xw / totals_ax_w if totals_ax_w else float("nan"),
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — matrix densities
+# ----------------------------------------------------------------------
+
+@register("fig3_density")
+def fig3_density(config: ExperimentConfig) -> ExperimentResult:
+    """Density of the sparse (A, X) and dense (XW, W) matrices per dataset."""
+    result = ExperimentResult(
+        name="fig3_density",
+        paper_reference="Figure 3",
+        description="Densities of A, X (layer 0), XW and W",
+        columns=["dataset", "density_A", "density_X", "density_XW", "density_W"],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        densities = layer_matrix_densities(bundle.model, layer=0)
+        result.add_row(
+            dataset=name,
+            density_A=densities["A"],
+            density_X=densities["X"],
+            density_XW=densities["XW"],
+            density_W=densities["W"],
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — non-zeros per GCNAX tile
+# ----------------------------------------------------------------------
+
+@register("fig5_tile_nnz")
+def fig5_tile_nnz(config: ExperimentConfig) -> ExperimentResult:
+    """Distribution of non-zeros per tile for matrices A and X."""
+    result = ExperimentResult(
+        name="fig5_tile_nnz",
+        paper_reference="Figure 5",
+        description=(
+            "Fraction of occupied GCNAX tiles per non-zero-count bin, for the "
+            "adjacency matrix A (aggregation) and feature matrix X (combination)"
+        ),
+        columns=["dataset", "matrix"],
+        notes=[f"Tile size {config.gcnax_tile}x{config.gcnax_tile}."],
+    )
+    tile = config.gcnax_tile
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        adjacency = bundle.workloads[0].aggregation.sparse
+        features = bundle.workloads[0].combination.sparse
+        bins_a = tile_nnz_bins(adjacency, tile, tile, bin_edges=(1, 2, 8, 16))
+        bins_x = tile_nnz_bins(features, tile, tile, bin_edges=(1, 2, 8, 1024))
+        result.add_row(dataset=name, matrix="A", **{f"frac_{k}": v for k, v in bins_a.items()})
+        result.add_row(dataset=name, matrix="X", **{f"frac_{k}": v for k, v in bins_x.items()})
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — effective bandwidth utilisation of GCNAX's sparse fetches
+# ----------------------------------------------------------------------
+
+@register("fig6_bandwidth_util")
+def fig6_bandwidth_util(config: ExperimentConfig) -> ExperimentResult:
+    """Effective DRAM bandwidth utilisation fetching A and X under 2-D tiling."""
+    result = ExperimentResult(
+        name="fig6_bandwidth_util",
+        paper_reference="Figure 6",
+        description=(
+            "Fraction of DRAM bytes that are effectual when GCNAX fetches the "
+            "sparse matrices with 64-byte minimum access granularity"
+        ),
+        columns=["dataset", "utilization_A", "utilization_X"],
+    )
+    tile = config.gcnax_tile
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        adjacency = bundle.workloads[0].aggregation.sparse
+        features = bundle.workloads[0].combination.sparse
+        result.add_row(
+            dataset=name,
+            utilization_A=effective_bandwidth_utilization(adjacency, tile, tile),
+            utilization_X=effective_bandwidth_utilization(features, tile, tile),
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — GCNAX latency breakdown
+# ----------------------------------------------------------------------
+
+@register("fig7_gcnax_breakdown")
+def fig7_gcnax_breakdown(config: ExperimentConfig) -> ExperimentResult:
+    """Aggregation vs combination share of GCNAX's end-to-end latency."""
+    result = ExperimentResult(
+        name="fig7_gcnax_breakdown",
+        paper_reference="Figure 7",
+        description="Fraction of GCNAX inference latency spent in each phase",
+        columns=["dataset", "aggregation_fraction", "combination_fraction"],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        breakdown = latency_breakdown(_gcnax_results(config, bundle))
+        total = breakdown["total"] or 1.0
+        result.add_row(
+            dataset=name,
+            aggregation_fraction=breakdown["aggregation"] / total,
+            combination_fraction=breakdown["combination"] / total,
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table IV — area breakdown
+# ----------------------------------------------------------------------
+
+@register("table4_area")
+def table4_area(config: ExperimentConfig) -> ExperimentResult:
+    """GROW area breakdown at 65 nm and scaled to 40 nm, vs GCNAX."""
+    breakdown_65 = grow_area_breakdown(technology_nm=65)
+    breakdown_40 = breakdown_65.scaled_to(40)
+    result = ExperimentResult(
+        name="table4_area",
+        paper_reference="Table IV",
+        description="Component area of GROW (65 nm measured-model, 40 nm scaled) and GCNAX",
+        columns=["component", "area_mm2_65nm", "area_mm2_40nm"],
+        notes=[
+            f"GCNAX total (reported, 40 nm): {GCNAX_AREA_MM2_40NM} mm^2",
+            f"GROW SRAM fraction of area: {breakdown_65.sram_fraction():.2f}",
+        ],
+    )
+    for component, area_65 in breakdown_65.components.items():
+        result.add_row(
+            component=component,
+            area_mm2_65nm=area_65,
+            area_mm2_40nm=breakdown_40.components[component],
+        )
+    result.add_row(
+        component="total",
+        area_mm2_65nm=breakdown_65.total_mm2,
+        area_mm2_40nm=breakdown_40.total_mm2,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 17 — HDN cache hit rate
+# ----------------------------------------------------------------------
+
+@register("fig17_hdn_hit_rate")
+def fig17_hdn_hit_rate(config: ExperimentConfig) -> ExperimentResult:
+    """HDN cache hit rate with and without graph partitioning."""
+    result = ExperimentResult(
+        name="fig17_hdn_hit_rate",
+        paper_reference="Figure 17",
+        description="HDN cache hit rate of GROW with and without graph partitioning",
+        columns=["dataset", "hit_rate_without_gp", "hit_rate_with_gp"],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        with_gp = _grow_results(config, bundle, partitioned=True)
+        without_gp = _grow_results(config, bundle, partitioned=False)
+        result.add_row(
+            dataset=name,
+            hit_rate_without_gp=without_gp.extra["hdn_hit_rate"],
+            hit_rate_with_gp=with_gp.extra["hdn_hit_rate"],
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 18 — off-chip memory traffic
+# ----------------------------------------------------------------------
+
+@register("fig18_memory_traffic")
+def fig18_memory_traffic(config: ExperimentConfig) -> ExperimentResult:
+    """Total DRAM bytes read, normalised to GCNAX."""
+    result = ExperimentResult(
+        name="fig18_memory_traffic",
+        paper_reference="Figure 18",
+        description="DRAM read traffic of GROW (w/o and w/ graph partitioning) normalised to GCNAX",
+        columns=["dataset", "gcnax", "grow_without_gp", "grow_with_gp"],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        gcnax = _gcnax_results(config, bundle)
+        grow_gp = _grow_results(config, bundle, partitioned=True)
+        grow_no = _grow_results(config, bundle, partitioned=False)
+        base = gcnax.dram_read_bytes or 1
+        result.add_row(
+            dataset=name,
+            gcnax=1.0,
+            grow_without_gp=grow_no.dram_read_bytes / base,
+            grow_with_gp=grow_gp.dram_read_bytes / base,
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 19 — traffic reduction from HDN caching and partitioning
+# ----------------------------------------------------------------------
+
+@register("fig19_traffic_reduction")
+def fig19_traffic_reduction(config: ExperimentConfig) -> ExperimentResult:
+    """DRAM-traffic reduction of HDN caching and graph partitioning."""
+    result = ExperimentResult(
+        name="fig19_traffic_reduction",
+        paper_reference="Figure 19",
+        description=(
+            "DRAM traffic reduction relative to GROW without HDN caching "
+            "(higher is better)"
+        ),
+        columns=["dataset", "without_hdn_caching", "with_hdn_caching", "with_hdn_caching_and_gp"],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        no_cache = _grow_results(config, bundle, partitioned=False, enable_hdn_cache=False)
+        cache_only = _grow_results(config, bundle, partitioned=False)
+        cache_gp = _grow_results(config, bundle, partitioned=True)
+        base = no_cache.total_dram_bytes or 1
+        result.add_row(
+            dataset=name,
+            without_hdn_caching=1.0,
+            with_hdn_caching=base / max(1, cache_only.total_dram_bytes),
+            with_hdn_caching_and_gp=base / max(1, cache_gp.total_dram_bytes),
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 20 — speedup and latency breakdown vs GCNAX
+# ----------------------------------------------------------------------
+
+@register("fig20_speedup")
+def fig20_speedup(config: ExperimentConfig) -> ExperimentResult:
+    """End-to-end speedup over GCNAX and the per-phase latency breakdown."""
+    result = ExperimentResult(
+        name="fig20_speedup",
+        paper_reference="Figure 20",
+        description=(
+            "Speedup of GROW (w/o and w/ graph partitioning) over GCNAX, plus "
+            "each design's aggregation/combination latency normalised to GCNAX"
+        ),
+        columns=[
+            "dataset",
+            "speedup_without_gp",
+            "speedup_with_gp",
+            "gcnax_aggregation",
+            "gcnax_combination",
+            "grow_aggregation",
+            "grow_combination",
+        ],
+    )
+    speedups = []
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        gcnax = _gcnax_results(config, bundle)
+        grow_gp = _grow_results(config, bundle, partitioned=True)
+        grow_no = _grow_results(config, bundle, partitioned=False)
+        base = gcnax.total_cycles or 1.0
+        speedups.append(grow_gp.speedup_over(gcnax))
+        result.add_row(
+            dataset=name,
+            speedup_without_gp=grow_no.speedup_over(gcnax),
+            speedup_with_gp=grow_gp.speedup_over(gcnax),
+            gcnax_aggregation=gcnax.phase_cycles("aggregation") / base,
+            gcnax_combination=gcnax.phase_cycles("combination") / base,
+            grow_aggregation=grow_gp.phase_cycles("aggregation") / base,
+            grow_combination=grow_gp.phase_cycles("combination") / base,
+        )
+    result.metadata["geomean_speedup_with_gp"] = _geomean(speedups)
+    result.notes.append(
+        f"Geometric-mean speedup of GROW (with G.P.) over GCNAX: {_geomean(speedups):.2f}x"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 21 — ablation study
+# ----------------------------------------------------------------------
+
+@register("fig21_ablation")
+def fig21_ablation(config: ExperimentConfig) -> ExperimentResult:
+    """Average speedup as GROW's optimisations are applied one by one."""
+    result = ExperimentResult(
+        name="fig21_ablation",
+        paper_reference="Figure 21",
+        description=(
+            "Geometric-mean speedup over GCNAX when incrementally enabling "
+            "HDN caching, runahead execution and graph partitioning"
+        ),
+        columns=["configuration", "geomean_speedup"],
+    )
+    per_config: dict[str, list[float]] = {
+        "gcnax_baseline": [],
+        "hdn_cache_only": [],
+        "plus_runahead": [],
+        "plus_graph_partitioning": [],
+    }
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        gcnax_cycles = _gcnax_results(config, bundle).total_cycles
+        cache_only = _grow_results(
+            config, bundle, partitioned=False, enable_runahead=False
+        ).total_cycles
+        runahead = _grow_results(config, bundle, partitioned=False).total_cycles
+        full = _grow_results(config, bundle, partitioned=True).total_cycles
+        per_config["gcnax_baseline"].append(1.0)
+        per_config["hdn_cache_only"].append(gcnax_cycles / cache_only)
+        per_config["plus_runahead"].append(gcnax_cycles / runahead)
+        per_config["plus_graph_partitioning"].append(gcnax_cycles / full)
+    for configuration, values in per_config.items():
+        result.add_row(configuration=configuration, geomean_speedup=_geomean(values))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 22 — energy breakdown
+# ----------------------------------------------------------------------
+
+def _energy_for(result_label, accel_result, area_mm2: float) -> dict[str, float]:
+    sram_events = {
+        name: (capacity, accel_result.sram_access_bytes().get(name, 0))
+        for name, capacity in accel_result.sram_capacities.items()
+    }
+    breakdown = estimate_energy(
+        mac_operations=accel_result.total_mac_operations,
+        dram_bytes=accel_result.total_dram_bytes,
+        sram_access_events=sram_events,
+        runtime_cycles=accel_result.total_cycles,
+        area_mm2=area_mm2,
+    )
+    return breakdown.as_dict()
+
+
+@register("fig22_energy")
+def fig22_energy(config: ExperimentConfig) -> ExperimentResult:
+    """Energy breakdown of GCNAX and GROW, normalised to GCNAX."""
+    grow_area = grow_area_breakdown(technology_nm=40).total_mm2
+    result = ExperimentResult(
+        name="fig22_energy",
+        paper_reference="Figure 22",
+        description=(
+            "Energy (MAC, register file, SRAM, DRAM, leakage) of GCNAX and GROW "
+            "(w/o and w/ graph partitioning), normalised to GCNAX's total"
+        ),
+        columns=["dataset", "design", "mac", "register_file", "sram", "dram", "leakage", "total"],
+    )
+    efficiency = []
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        gcnax = _gcnax_results(config, bundle)
+        grow_gp = _grow_results(config, bundle, partitioned=True)
+        grow_no = _grow_results(config, bundle, partitioned=False)
+        gcnax_energy = _energy_for("gcnax", gcnax, GCNAX_AREA_MM2_40NM)
+        base = gcnax_energy["total"] or 1.0
+        for design, accel_result, area in (
+            ("gcnax", gcnax, GCNAX_AREA_MM2_40NM),
+            ("grow_without_gp", grow_no, grow_area),
+            ("grow_with_gp", grow_gp, grow_area),
+        ):
+            energy = _energy_for(design, accel_result, area)
+            result.add_row(
+                dataset=name,
+                design=design,
+                **{k: v / base for k, v in energy.items()},
+            )
+        grow_energy = _energy_for("grow", grow_gp, grow_area)
+        efficiency.append(base / (grow_energy["total"] or 1.0))
+    result.metadata["geomean_energy_efficiency_gain"] = _geomean(efficiency)
+    result.notes.append(
+        f"Geometric-mean energy-efficiency gain of GROW over GCNAX: {_geomean(efficiency):.2f}x"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 24 — PE scaling
+# ----------------------------------------------------------------------
+
+@register("fig24_pe_scaling")
+def fig24_pe_scaling(config: ExperimentConfig) -> ExperimentResult:
+    """Aggregation throughput as PEs (and bandwidth) scale from 1 to 16."""
+    pe_counts = (1, 2, 4, 8, 16)
+    result = ExperimentResult(
+        name="fig24_pe_scaling",
+        paper_reference="Figure 24",
+        description="Aggregation throughput normalised to a single PE (proportional bandwidth)",
+        columns=["dataset"] + [f"pe_{p}" for p in pe_counts],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        simulator = MultiPEGrowSimulator(config.grow_config())
+        sweep = simulator.scaling_sweep(bundle.workloads[0], pe_counts=pe_counts, plan=bundle.plan)
+        result.add_row(dataset=name, **{f"pe_{p}": sweep[p] for p in pe_counts})
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 25 — sensitivity studies
+# ----------------------------------------------------------------------
+
+@register("fig25a_runahead_sweep")
+def fig25a_runahead_sweep(config: ExperimentConfig) -> ExperimentResult:
+    """Throughput as the runahead degree is swept from 1 to 32."""
+    degrees = (1, 2, 4, 8, 16, 32)
+    result = ExperimentResult(
+        name="fig25a_runahead_sweep",
+        paper_reference="Figure 25(a)",
+        description="GROW throughput normalised to 1-way runahead execution",
+        columns=["dataset"] + [f"way_{d}" for d in degrees],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        cycles = runahead_sweep_cycles(config, bundle, degrees)
+        base = cycles[1]
+        result.add_row(dataset=name, **{f"way_{d}": base / cycles[d] for d in degrees})
+    return result
+
+
+@register("fig25b_bandwidth_sweep")
+def fig25b_bandwidth_sweep(config: ExperimentConfig) -> ExperimentResult:
+    """Sensitivity of GCNAX and GROW to off-chip memory bandwidth."""
+    factors = (0.25, 0.5, 1.0, 2.0, 4.0)
+    result = ExperimentResult(
+        name="fig25b_bandwidth_sweep",
+        paper_reference="Figure 25(b)",
+        description=(
+            "Throughput across relative bandwidth factors, each design normalised "
+            "to its own nominal-bandwidth (1.0x) point"
+        ),
+        columns=["dataset", "design"] + [f"bw_{f}x" for f in factors],
+        notes=[
+            "A steeper slope means higher sensitivity to memory bandwidth; "
+            "GCNAX should be steeper than GROW."
+        ],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        for design in ("gcnax", "grow"):
+            cycles = bandwidth_sweep_cycles(config, bundle, factors, design)
+            base = cycles[1.0]
+            result.add_row(
+                dataset=name,
+                design=design,
+                **{f"bw_{f}x": base / cycles[f] for f in factors},
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 26 — comparison against MatRaptor and GAMMA
+# ----------------------------------------------------------------------
+
+@register("fig26_spsp_comparison")
+def fig26_spsp_comparison(config: ExperimentConfig) -> ExperimentResult:
+    """Speedup of GROW and the sparse-sparse Gustavson baselines over GCNAX."""
+    result = ExperimentResult(
+        name="fig26_spsp_comparison",
+        paper_reference="Figure 26",
+        description="Speedup over GCNAX of MatRaptor, GAMMA and GROW",
+        columns=["dataset", "gcnax", "matraptor", "gamma", "grow"],
+    )
+    grow_vs_matraptor = []
+    grow_vs_gamma = []
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        gcnax = _gcnax_results(config, bundle)
+        matraptor = MatRaptorSimulator(config.matraptor_config()).run_model(bundle.workloads)
+        gamma = GAMMASimulator(config.gamma_config()).run_model(bundle.workloads)
+        grow = _grow_results(config, bundle, partitioned=True)
+        base = gcnax.total_cycles or 1.0
+        result.add_row(
+            dataset=name,
+            gcnax=1.0,
+            matraptor=base / matraptor.total_cycles,
+            gamma=base / gamma.total_cycles,
+            grow=base / grow.total_cycles,
+        )
+        grow_vs_matraptor.append(matraptor.total_cycles / grow.total_cycles)
+        grow_vs_gamma.append(gamma.total_cycles / grow.total_cycles)
+    result.metadata["geomean_speedup_vs_matraptor"] = _geomean(grow_vs_matraptor)
+    result.metadata["geomean_speedup_vs_gamma"] = _geomean(grow_vs_gamma)
+    result.notes.append(
+        "GROW geomean speedup vs MatRaptor: "
+        f"{_geomean(grow_vs_matraptor):.2f}x, vs GAMMA: {_geomean(grow_vs_gamma):.2f}x"
+    )
+    return result

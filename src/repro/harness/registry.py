@@ -1,0 +1,58 @@
+"""Experiment registry: name-to-function mapping and the run entry point."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.harness.config import ExperimentConfig, default_config
+from repro.harness.report import ExperimentResult
+
+ExperimentFn = Callable[[ExperimentConfig], ExperimentResult]
+
+_REGISTRY: dict[str, ExperimentFn] = {}
+
+
+def register(name: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator that registers an experiment function under ``name``."""
+
+    def decorator(fn: ExperimentFn) -> ExperimentFn:
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} is already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def list_experiments() -> list[str]:
+    """Names of all registered experiments, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(name: str) -> ExperimentFn:
+    """Look up an experiment function by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}; known: {list_experiments()}")
+    return _REGISTRY[name]
+
+
+def run_experiment(
+    name: str,
+    config: ExperimentConfig | None = None,
+    datasets: tuple[str, ...] | None = None,
+    **config_overrides,
+) -> ExperimentResult:
+    """Run a registered experiment.
+
+    Args:
+        name: experiment id (see :func:`list_experiments`).
+        config: full experiment configuration; built from defaults when omitted.
+        datasets: convenience restriction of the dataset list.
+        **config_overrides: forwarded to :func:`default_config` when no
+            explicit config is given (e.g. ``bandwidth_gbps=32``).
+    """
+    if config is None:
+        config = default_config(datasets=datasets, **config_overrides)
+    elif datasets is not None:
+        config = config.with_datasets(tuple(datasets))
+    return get_experiment(name)(config)

@@ -1,0 +1,99 @@
+"""Experiment result container and plain-text table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def _format_value(value: Any) -> str:
+    """Human-readable rendering of a cell value."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
+    """Render rows as a fixed-width text table with the given column order."""
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    header = line(columns)
+    separator = "  ".join("-" * width for width in widths)
+    body = [line(r) for r in rendered]
+    return "\n".join([header, separator, *body])
+
+
+@dataclass
+class ExperimentResult:
+    """Result of one experiment: the rows that mirror a paper table/figure.
+
+    Attributes:
+        name: experiment id (e.g. ``"fig20_speedup"``).
+        paper_reference: the table/figure of the paper being regenerated.
+        description: one-line description of what the rows contain.
+        columns: column names, in display order.
+        rows: one dict per row (typically one per dataset).
+        notes: free-form remarks (e.g. which quantity is normalised to what).
+        metadata: machine-readable extras (config used, seeds, ...).
+    """
+
+    name: str
+    paper_reference: str
+    description: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row; unknown columns are added to the column list."""
+        for key in values:
+            if key not in self.columns:
+                self.columns.append(key)
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, key: Any) -> dict[str, Any]:
+        """The first row whose ``key_column`` equals ``key``."""
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"no row with {key_column} == {key!r}")
+
+    def to_table(self) -> str:
+        """Render the result as a printable text report."""
+        lines = [
+            f"{self.name}  ({self.paper_reference})",
+            self.description,
+            "",
+            format_table(self.columns, self.rows),
+        ]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form, convenient for JSON dumps in scripts."""
+        return {
+            "name": self.name,
+            "paper_reference": self.paper_reference,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+            "metadata": dict(self.metadata),
+        }

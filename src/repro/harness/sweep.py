@@ -1,0 +1,65 @@
+"""Parameter-sweep helpers shared by the sensitivity experiments."""
+
+from __future__ import annotations
+
+from repro.accelerators.gcnax import GCNAXSimulator
+from repro.core.accelerator import GrowSimulator
+from repro.core.preprocess import PreprocessPlan
+from repro.harness.config import ExperimentConfig
+from repro.harness.workloads import WorkloadBundle
+
+
+def grow_cycles(
+    config: ExperimentConfig,
+    bundle: WorkloadBundle,
+    plan: PreprocessPlan | None = None,
+    **grow_overrides,
+) -> float:
+    """Total GROW cycles for one bundle under config overrides."""
+    simulator = GrowSimulator(config.grow_config(**grow_overrides))
+    result = simulator.run_model(bundle.workloads, plan if plan is not None else bundle.plan)
+    return result.total_cycles
+
+
+def gcnax_cycles(config: ExperimentConfig, bundle: WorkloadBundle, **gcnax_overrides) -> float:
+    """Total GCNAX cycles for one bundle under config overrides."""
+    simulator = GCNAXSimulator(config.gcnax_config(**gcnax_overrides))
+    return simulator.run_model(bundle.workloads).total_cycles
+
+
+def bandwidth_sweep_cycles(
+    config: ExperimentConfig,
+    bundle: WorkloadBundle,
+    bandwidth_factors: tuple[float, ...],
+    accelerator: str,
+) -> dict[float, float]:
+    """Total cycles of one accelerator across relative bandwidth factors.
+
+    Factors are relative to the configuration's nominal bandwidth, matching
+    the presentation of the paper's Figure 25(b) (each design normalised to
+    its own mid-sweep point).
+    """
+    cycles: dict[float, float] = {}
+    for factor in bandwidth_factors:
+        swept = config.with_bandwidth(config.bandwidth_gbps * factor)
+        if accelerator == "grow":
+            cycles[factor] = grow_cycles(swept, bundle)
+        elif accelerator == "gcnax":
+            cycles[factor] = gcnax_cycles(swept, bundle)
+        else:
+            raise ValueError(f"unknown accelerator {accelerator!r}")
+    return cycles
+
+
+def runahead_sweep_cycles(
+    config: ExperimentConfig,
+    bundle: WorkloadBundle,
+    degrees: tuple[int, ...],
+) -> dict[int, float]:
+    """Total GROW cycles across runahead degrees (Figure 25(a))."""
+    return {
+        degree: grow_cycles(
+            config, bundle, runahead_degree=degree, ldn_table_entries=max(16, degree)
+        )
+        for degree in degrees
+    }

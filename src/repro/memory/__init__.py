@@ -1,0 +1,16 @@
+"""Memory-system substrate: DRAM channel, SRAM buffers, DMA, traffic accounting."""
+
+from repro.memory.dram import DRAMConfig, DRAMModel
+from repro.memory.sram import SRAMBuffer
+from repro.memory.dma import DMAEngine, DMARequest
+from repro.memory.traffic import TrafficCounter, bandwidth_utilization
+
+__all__ = [
+    "DRAMConfig",
+    "DRAMModel",
+    "SRAMBuffer",
+    "DMAEngine",
+    "DMARequest",
+    "TrafficCounter",
+    "bandwidth_utilization",
+]

@@ -1,0 +1,85 @@
+"""DMA engine model.
+
+The DMA unit orchestrates movement between DRAM and the on-chip buffers
+(paper Figure 8).  In this reproduction it is a thin bookkeeping layer: it
+issues reads/writes against the :class:`~repro.memory.dram.DRAMModel`,
+updates the destination :class:`~repro.memory.sram.SRAMBuffer` access
+counters, and keeps a queue-depth statistic used by the runahead model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.dram import DRAMModel
+from repro.memory.sram import SRAMBuffer
+
+
+@dataclass(frozen=True)
+class DMARequest:
+    """One outstanding DRAM request tracked by the DMA engine."""
+
+    label: str
+    num_bytes: int
+    issue_cycle: float
+    complete_cycle: float
+
+
+@dataclass
+class DMAEngine:
+    """Bookkeeping DMA engine: issues transfers and tracks outstanding requests."""
+
+    dram: DRAMModel
+    max_outstanding: int = 16
+    issued_requests: int = 0
+    completed_requests: int = 0
+    peak_outstanding: int = 0
+    _inflight: list[DMARequest] = field(default_factory=list)
+
+    def fetch_to_buffer(
+        self,
+        label: str,
+        num_bytes: int,
+        buffer: SRAMBuffer | None = None,
+        contiguous: bool = True,
+        now_cycle: float = 0.0,
+    ) -> DMARequest:
+        """Fetch ``num_bytes`` from DRAM into an (optional) on-chip buffer.
+
+        Returns the request record with its completion cycle, computed from
+        the fixed DRAM latency plus the bandwidth-limited transfer time.
+        """
+        transferred = self.dram.read(label, num_bytes, contiguous=contiguous)
+        if buffer is not None:
+            buffer.record_write(transferred)
+        complete = (
+            now_cycle
+            + self.dram.config.latency_cycles
+            + self.dram.cycles_for_bytes(transferred)
+        )
+        request = DMARequest(
+            label=label, num_bytes=transferred, issue_cycle=now_cycle, complete_cycle=complete
+        )
+        self._retire(now_cycle)
+        self._inflight.append(request)
+        self.issued_requests += 1
+        self.peak_outstanding = max(self.peak_outstanding, len(self._inflight))
+        return request
+
+    def write_from_buffer(
+        self, label: str, num_bytes: int, buffer: SRAMBuffer | None = None
+    ) -> int:
+        """Write ``num_bytes`` from an on-chip buffer back to DRAM."""
+        if buffer is not None:
+            buffer.record_read(num_bytes)
+        return self.dram.write(label, num_bytes)
+
+    def outstanding(self, now_cycle: float) -> int:
+        """Number of requests still in flight at ``now_cycle``."""
+        self._retire(now_cycle)
+        return len(self._inflight)
+
+    def _retire(self, now_cycle: float) -> None:
+        retired = [r for r in self._inflight if r.complete_cycle <= now_cycle]
+        self.completed_requests += len(retired)
+        self._inflight = [r for r in self._inflight if r.complete_cycle > now_cycle]

@@ -1,0 +1,122 @@
+"""DRAM channel model.
+
+The paper's characterisation hinges on a single property of the DRAM
+subsystem: the minimum access granularity is 64 bytes, so fetching fewer
+effectual bytes than that wastes bandwidth (Figure 6).  The model here rounds
+every access up to whole 64-byte lines, accumulates traffic into a
+:class:`~repro.memory.traffic.TrafficCounter`, and converts bytes to cycles
+at a configurable bandwidth so the accelerator simulators can derive
+memory-bound latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.memory.traffic import TrafficCounter
+
+GB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Configuration of the off-chip memory channel.
+
+    Attributes:
+        bandwidth_gbps: peak bandwidth in GB/s (paper default 128 GB/s).
+        access_granularity: minimum access size in bytes (64 B).
+        frequency_ghz: accelerator clock used to convert bytes to cycles
+            (paper targets 1 GHz).
+        latency_cycles: fixed round-trip latency of one DRAM access, used by
+            the runahead model to size how much latency must be hidden.
+    """
+
+    bandwidth_gbps: float = 128.0
+    access_granularity: int = 64
+    frequency_ghz: float = 1.0
+    latency_cycles: int = 100
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Peak bytes the channel can deliver per accelerator clock cycle."""
+        return self.bandwidth_gbps * GB / (self.frequency_ghz * 1e9)
+
+    def scaled(self, bandwidth_gbps: float) -> "DRAMConfig":
+        """Copy of this config with a different peak bandwidth."""
+        return DRAMConfig(
+            bandwidth_gbps=bandwidth_gbps,
+            access_granularity=self.access_granularity,
+            frequency_ghz=self.frequency_ghz,
+            latency_cycles=self.latency_cycles,
+        )
+
+
+@dataclass
+class DRAMModel:
+    """Stateful DRAM channel: records traffic and converts it to cycles."""
+
+    config: DRAMConfig = field(default_factory=DRAMConfig)
+    traffic: TrafficCounter = field(default_factory=TrafficCounter)
+
+    def lines_for(self, num_bytes: int) -> int:
+        """Number of minimum-granularity lines needed to cover ``num_bytes``."""
+        if num_bytes <= 0:
+            return 0
+        return math.ceil(num_bytes / self.config.access_granularity)
+
+    def read(self, label: str, requested_bytes: int, contiguous: bool = True) -> int:
+        """Issue a read of ``requested_bytes`` effectual bytes.
+
+        When ``contiguous`` is True the bytes are assumed to be packed (a CSR
+        stream, a dense row): the transfer is rounded up once.  When False,
+        each effectual element is assumed to live in its own DRAM line (the
+        scattered non-zeros of a nearly-empty tile), which is the worst case
+        the paper's Figure 6 characterises for GCNAX's matrix A fetches.
+
+        Returns the number of bytes actually transferred.
+        """
+        if requested_bytes <= 0:
+            return 0
+        granularity = self.config.access_granularity
+        if contiguous:
+            transferred = self.lines_for(requested_bytes) * granularity
+        else:
+            transferred = requested_bytes  # caller already accounts per-element
+        self.traffic.record_read(label, requested_bytes, transferred)
+        return transferred
+
+    def read_scattered(self, label: str, num_elements: int, element_bytes: int) -> int:
+        """Read ``num_elements`` elements that each live in a distinct DRAM line."""
+        if num_elements <= 0:
+            return 0
+        requested = num_elements * element_bytes
+        transferred = num_elements * self.config.access_granularity
+        self.traffic.record_read(label, requested, transferred)
+        return transferred
+
+    def write(self, label: str, num_bytes: int) -> int:
+        """Write ``num_bytes`` back to DRAM (rounded up to whole lines)."""
+        if num_bytes <= 0:
+            return 0
+        transferred = self.lines_for(num_bytes) * self.config.access_granularity
+        self.traffic.record_write(label, transferred)
+        return transferred
+
+    def cycles_for_bytes(self, num_bytes: int) -> float:
+        """Cycles needed to move ``num_bytes`` at peak bandwidth."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.config.bytes_per_cycle
+
+    def total_read_cycles(self) -> float:
+        """Cycles to move all recorded read traffic at peak bandwidth."""
+        return self.cycles_for_bytes(self.traffic.total_read_bytes())
+
+    def total_cycles(self) -> float:
+        """Cycles to move all recorded traffic (reads + writes) at peak bandwidth."""
+        return self.cycles_for_bytes(self.traffic.total_bytes())
+
+    def reset(self) -> None:
+        """Clear all recorded traffic."""
+        self.traffic = TrafficCounter()

@@ -1,0 +1,93 @@
+"""On-chip SRAM buffer model.
+
+GROW's on-chip storage (I-BUF_sparse, I-BUF_dense with the HDN cache and HDN
+ID list, O-BUF_dense) and GCNAX's tile buffers are all modelled as simple
+capacity-checked byte buffers with access counters, which is all the energy
+and area models need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+KB = 1024
+
+
+@dataclass
+class SRAMBuffer:
+    """A capacity-limited on-chip buffer with access accounting.
+
+    Attributes:
+        name: label used in area/energy breakdowns (e.g. ``"HDN cache"``).
+        capacity_bytes: total storage capacity.
+        used_bytes: bytes currently resident.
+        reads / writes: number of access events (used for dynamic energy).
+        read_bytes / write_bytes: bytes moved by those accesses.
+    """
+
+    name: str
+    capacity_bytes: int
+    used_bytes: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+
+    @property
+    def capacity_kb(self) -> float:
+        return self.capacity_bytes / KB
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the capacity currently in use."""
+        if self.capacity_bytes == 0:
+            return 0.0
+        return self.used_bytes / self.capacity_bytes
+
+    def can_fit(self, num_bytes: int) -> bool:
+        """Whether ``num_bytes`` more bytes fit in the buffer."""
+        return num_bytes <= self.free_bytes
+
+    def allocate(self, num_bytes: int) -> None:
+        """Reserve ``num_bytes``; raises if the buffer would overflow."""
+        if num_bytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if num_bytes > self.free_bytes:
+            raise MemoryError(
+                f"{self.name}: cannot allocate {num_bytes} B, only {self.free_bytes} B free"
+            )
+        self.used_bytes += num_bytes
+
+    def release(self, num_bytes: int) -> None:
+        """Free ``num_bytes``; raises if more than currently used."""
+        if num_bytes < 0:
+            raise ValueError("release size must be non-negative")
+        if num_bytes > self.used_bytes:
+            raise ValueError(f"{self.name}: releasing more bytes than allocated")
+        self.used_bytes -= num_bytes
+
+    def clear(self) -> None:
+        """Release everything (contents invalidated, counters preserved)."""
+        self.used_bytes = 0
+
+    def record_read(self, num_bytes: int) -> None:
+        """Account one read access of ``num_bytes``."""
+        self.reads += 1
+        self.read_bytes += int(num_bytes)
+
+    def record_write(self, num_bytes: int) -> None:
+        """Account one write access of ``num_bytes``."""
+        self.writes += 1
+        self.write_bytes += int(num_bytes)
+
+    def total_access_bytes(self) -> int:
+        """Total bytes moved in and out of the buffer."""
+        return self.read_bytes + self.write_bytes

@@ -1,0 +1,102 @@
+"""Traffic accounting shared by every accelerator model.
+
+The paper's key metrics are DRAM bytes moved (Figures 18, 19) and effective
+bandwidth utilisation (Figure 6): of the bytes a 64-byte-granular DRAM must
+transfer, how many were actually requested by the dataflow.  A
+:class:`TrafficCounter` tracks both, per logical matrix, so breakdowns can be
+reported.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficCounter:
+    """Per-matrix counters of requested vs. transferred DRAM bytes.
+
+    ``requested`` bytes are the effectual bytes the dataflow needed;
+    ``transferred`` bytes are what the DRAM actually moved after rounding
+    every access up to the minimum access granularity.
+    """
+
+    requested_bytes: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    transferred_bytes: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    write_bytes: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_read(self, label: str, requested: int, transferred: int) -> None:
+        """Record one read: ``requested`` effectual bytes, ``transferred`` moved bytes."""
+        if requested < 0 or transferred < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.requested_bytes[label] += int(requested)
+        self.transferred_bytes[label] += int(transferred)
+
+    def record_write(self, label: str, num_bytes: int) -> None:
+        """Record bytes written back to DRAM under the given label."""
+        if num_bytes < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.write_bytes[label] += int(num_bytes)
+
+    def total_read_bytes(self) -> int:
+        """Total bytes read from DRAM (transferred, i.e. including overfetch)."""
+        return sum(self.transferred_bytes.values())
+
+    def total_write_bytes(self) -> int:
+        """Total bytes written to DRAM."""
+        return sum(self.write_bytes.values())
+
+    def total_bytes(self) -> int:
+        """Total DRAM traffic, reads plus writes."""
+        return self.total_read_bytes() + self.total_write_bytes()
+
+    def utilization(self, label: str | None = None) -> float:
+        """Effective bandwidth utilisation: requested / transferred bytes."""
+        if label is None:
+            requested = sum(self.requested_bytes.values())
+            transferred = sum(self.transferred_bytes.values())
+        else:
+            requested = self.requested_bytes.get(label, 0)
+            transferred = self.transferred_bytes.get(label, 0)
+        if transferred == 0:
+            return 0.0
+        return requested / transferred
+
+    def merge(self, other: "TrafficCounter") -> "TrafficCounter":
+        """Return a new counter with the sums of both counters."""
+        merged = TrafficCounter()
+        for counter, target in (
+            (self.requested_bytes, merged.requested_bytes),
+            (other.requested_bytes, merged.requested_bytes),
+        ):
+            for key, value in counter.items():
+                target[key] += value
+        for counter, target in (
+            (self.transferred_bytes, merged.transferred_bytes),
+            (other.transferred_bytes, merged.transferred_bytes),
+        ):
+            for key, value in counter.items():
+                target[key] += value
+        for counter, target in (
+            (self.write_bytes, merged.write_bytes),
+            (other.write_bytes, merged.write_bytes),
+        ):
+            for key, value in counter.items():
+                target[key] += value
+        return merged
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Plain-dict snapshot for reports and tests."""
+        return {
+            "requested": dict(self.requested_bytes),
+            "transferred": dict(self.transferred_bytes),
+            "written": dict(self.write_bytes),
+        }
+
+
+def bandwidth_utilization(requested_bytes: int, transferred_bytes: int) -> float:
+    """Effective bandwidth utilisation of a single transfer stream."""
+    if transferred_bytes <= 0:
+        return 0.0
+    return min(1.0, requested_bytes / transferred_bytes)

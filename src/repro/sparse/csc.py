@@ -1,0 +1,118 @@
+"""Compressed sparse column (CSC) matrix container.
+
+CSC is the compression format GCNAX uses for its tiled outer-product
+SpDeGEMM (paper Figure 4(b)).  It is the column-major mirror of CSR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass
+class CSCMatrix:
+    """A sparse matrix in compressed sparse column format.
+
+    Attributes:
+        shape: ``(n_rows, n_cols)``.
+        indptr: array of length ``n_cols + 1``; column ``j`` owns the
+            non-zeros in the slice ``[indptr[j], indptr[j + 1])``.
+        indices: row index of each stored non-zero.
+        data: value of each stored non-zero.
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        n_rows, n_cols = self.shape
+        if self.indptr.size != n_cols + 1:
+            raise ValueError(
+                f"indptr must have length n_cols + 1 = {n_cols + 1}, got {self.indptr.size}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise ValueError("indices and data must have the same length")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= n_rows):
+            raise ValueError("row index out of bounds")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero entries."""
+        return int(self.data.size)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Fraction of matrix cells that are non-zero."""
+        total = self.shape[0] * self.shape[1]
+        if total == 0:
+            return 0.0
+        return self.nnz / total
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int]) -> "CSCMatrix":
+        """Create an all-zero matrix of the given shape."""
+        return cls(
+            shape=shape,
+            indptr=np.zeros(shape[1] + 1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            data=np.empty(0, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        """Build a CSC matrix from a dense 2-D array."""
+        from repro.sparse.convert import coo_to_csc
+        from repro.sparse.coo import COOMatrix
+
+        return coo_to_csc(COOMatrix.from_dense(np.asarray(dense)))
+
+    def col_nnz(self) -> np.ndarray:
+        """Number of non-zeros in each column."""
+        return np.diff(self.indptr)
+
+    def col(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(row_indices, values)`` of column ``j``."""
+        if not 0 <= j < self.n_cols:
+            raise IndexError(f"column index {j} out of range [0, {self.n_cols})")
+        start, end = self.indptr[j], self.indptr[j + 1]
+        return self.indices[start:end], self.data[start:end]
+
+    def iter_cols(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(col_index, row_indices, values)`` for every column."""
+        for j in range(self.n_cols):
+            rows, vals = self.col(j)
+            yield j, rows, vals
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the matrix as a dense 2-D array."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        col_ids = np.repeat(np.arange(self.n_cols), self.col_nnz())
+        np.add.at(dense, (self.indices, col_ids), self.data)
+        return dense
+
+    def total_bytes(self, value_bytes: int = 8, index_bytes: int = 4) -> int:
+        """Total compressed storage footprint (values + indices + indptr)."""
+        return (
+            self.nnz * (value_bytes + index_bytes)
+            + self.indptr.size * index_bytes
+        )

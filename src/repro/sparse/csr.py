@@ -1,0 +1,154 @@
+"""Compressed sparse row (CSR) matrix container.
+
+CSR is the format GROW uses for the left-hand-side sparse matrices (A and X):
+all non-zeros of consecutive rows are packed densely, which is what gives the
+row-wise product dataflow its high effective memory-bandwidth utilisation
+(paper Section V-B, Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass
+class CSRMatrix:
+    """A sparse matrix in compressed sparse row format.
+
+    Attributes:
+        shape: ``(n_rows, n_cols)``.
+        indptr: array of length ``n_rows + 1``; row ``i`` owns the non-zeros
+            in the half-open slice ``[indptr[i], indptr[i + 1])``.
+        indices: column index of each stored non-zero.
+        data: value of each stored non-zero.
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        n_rows, n_cols = self.shape
+        if self.indptr.size != n_rows + 1:
+            raise ValueError(
+                f"indptr must have length n_rows + 1 = {n_rows + 1}, got {self.indptr.size}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise ValueError("indices and data must have the same length")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= n_cols):
+            raise ValueError("column index out of bounds")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero entries."""
+        return int(self.data.size)
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Fraction of matrix cells that are non-zero."""
+        total = self.shape[0] * self.shape[1]
+        if total == 0:
+            return 0.0
+        return self.nnz / total
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int]) -> "CSRMatrix":
+        """Create an all-zero matrix of the given shape."""
+        return cls(
+            shape=shape,
+            indptr=np.zeros(shape[0] + 1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+            data=np.empty(0, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build a CSR matrix from a dense 2-D array."""
+        from repro.sparse.convert import dense_to_csr
+
+        return dense_to_csr(dense)
+
+    def row_nnz(self) -> np.ndarray:
+        """Number of non-zeros in each row (node degrees for an adjacency matrix)."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(column_indices, values)`` of row ``i``."""
+        if not 0 <= i < self.n_rows:
+            raise IndexError(f"row index {i} out of range [0, {self.n_rows})")
+        start, end = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:end], self.data[start:end]
+
+    def iter_rows(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(row_index, column_indices, values)`` for every row."""
+        for i in range(self.n_rows):
+            cols, vals = self.row(i)
+            yield i, cols, vals
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the matrix as a dense 2-D array."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        row_ids = np.repeat(np.arange(self.n_rows), self.row_nnz())
+        np.add.at(dense, (row_ids, self.indices), self.data)
+        return dense
+
+    def row_bytes(self, i: int, value_bytes: int = 8, index_bytes: int = 4) -> int:
+        """Storage footprint of row ``i`` in the CSR stream (values + indices)."""
+        nnz = int(self.indptr[i + 1] - self.indptr[i])
+        return nnz * (value_bytes + index_bytes)
+
+    def total_bytes(self, value_bytes: int = 8, index_bytes: int = 4) -> int:
+        """Total compressed storage footprint (values + indices + indptr)."""
+        return (
+            self.nnz * (value_bytes + index_bytes)
+            + self.indptr.size * index_bytes
+        )
+
+    def matmul_dense(self, dense: np.ndarray) -> np.ndarray:
+        """Multiply this sparse matrix by a dense matrix (reference kernel)."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape[0] != self.n_cols:
+            raise ValueError(
+                f"dimension mismatch: sparse is {self.shape}, dense is {dense.shape}"
+            )
+        out = np.zeros((self.n_rows, dense.shape[1]), dtype=np.float64)
+        for i in range(self.n_rows):
+            cols, vals = self.row(i)
+            if cols.size:
+                out[i] = vals @ dense[cols]
+        return out
+
+    def select_rows(self, row_ids: np.ndarray) -> "CSRMatrix":
+        """Return a new CSR matrix containing only the given rows, in order."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        counts = self.row_nnz()[row_ids]
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        data = np.empty(int(indptr[-1]), dtype=np.float64)
+        for out_i, i in enumerate(row_ids):
+            start, end = self.indptr[i], self.indptr[i + 1]
+            out_s, out_e = indptr[out_i], indptr[out_i + 1]
+            indices[out_s:out_e] = self.indices[start:end]
+            data[out_s:out_e] = self.data[start:end]
+        return CSRMatrix(
+            shape=(row_ids.size, self.n_cols), indptr=indptr, indices=indices, data=data
+        )

@@ -1,0 +1,95 @@
+"""Reference sparse-dense GEMM kernels in the three dataflows of the paper.
+
+These kernels are *functional* references: every accelerator simulator in
+this repository computes the same product, so numerical agreement with these
+kernels is an invariant verified by the test suite.  The three variants make
+explicit the loop orders the paper contrasts:
+
+* inner product  — output-stationary dot products (AWB-GCN),
+* outer product  — column-of-LHS times row-of-RHS rank-1 updates (GCNAX),
+* row-wise / Gustavson product — one LHS row scales several RHS rows (GROW,
+  MatRaptor, GAMMA).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.convert import csr_to_csc
+from repro.sparse.csr import CSRMatrix
+
+
+def spmm_reference(sparse: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """Numpy reference result of ``sparse @ dense`` used as ground truth."""
+    return sparse.matmul_dense(dense)
+
+
+def spmm_gustavson(sparse: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """Row-wise (Gustavson) product: GROW's dataflow.
+
+    For every non-zero ``A[i, k]`` of the LHS row ``i``, the RHS row ``k`` is
+    scaled and accumulated into output row ``i``.  Output rows are independent
+    of each other, which is what enables GROW's multi-row runahead execution.
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.shape[0] != sparse.n_cols:
+        raise ValueError(
+            f"dimension mismatch: sparse is {sparse.shape}, dense is {dense.shape}"
+        )
+    out = np.zeros((sparse.n_rows, dense.shape[1]), dtype=np.float64)
+    for i, cols, vals in sparse.iter_rows():
+        for k, a_ik in zip(cols, vals):
+            out[i] += a_ik * dense[k]
+    return out
+
+
+def spmm_outer_product(sparse: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """Outer product: GCNAX's dataflow.
+
+    Column ``k`` of the LHS is multiplied with row ``k`` of the RHS to form a
+    rank-1 contribution to the whole output; partial outputs from different
+    ``k`` must be accumulated, which is why the outer-product dataflow keeps
+    2-D output tiles resident on chip.
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.shape[0] != sparse.n_cols:
+        raise ValueError(
+            f"dimension mismatch: sparse is {sparse.shape}, dense is {dense.shape}"
+        )
+    csc = csr_to_csc(sparse)
+    out = np.zeros((sparse.n_rows, dense.shape[1]), dtype=np.float64)
+    for k, row_ids, vals in csc.iter_cols():
+        if row_ids.size:
+            out[row_ids] += np.outer(vals, dense[k])
+    return out
+
+
+def spmm_inner_product(sparse: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """Inner product: AWB-GCN's dataflow.
+
+    Every output element ``C[i, j]`` is produced by a full dot product of LHS
+    row ``i`` with RHS column ``j``.
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.shape[0] != sparse.n_cols:
+        raise ValueError(
+            f"dimension mismatch: sparse is {sparse.shape}, dense is {dense.shape}"
+        )
+    n_out_cols = dense.shape[1]
+    out = np.zeros((sparse.n_rows, n_out_cols), dtype=np.float64)
+    for i, cols, vals in sparse.iter_rows():
+        if cols.size == 0:
+            continue
+        for j in range(n_out_cols):
+            out[i, j] = float(np.dot(vals, dense[cols, j]))
+    return out
+
+
+def spmm_mac_count(sparse: CSRMatrix, dense_cols: int) -> int:
+    """Number of effectual multiply-accumulate operations of ``sparse @ dense``.
+
+    Every non-zero of the sparse matrix contributes one MAC per output column.
+    This is the quantity Figure 2 of the paper compares across execution
+    orders.
+    """
+    return sparse.nnz * int(dense_cols)

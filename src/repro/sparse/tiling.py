@@ -1,0 +1,146 @@
+"""2-D tiling of sparse matrices, as used by the GCNAX baseline.
+
+GCNAX partitions the sparse LHS matrix into rectangular tiles and fetches the
+CSC-compressed non-zeros of one tile at a time (paper Figure 4).  The paper's
+Figures 5 and 6 characterise how many non-zeros land in each tile and how much
+of the fetched DRAM traffic is effectual; the helpers here produce exactly
+those statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rectangular tile of a sparse matrix.
+
+    Attributes:
+        row_start, row_end: half-open row range of the tile.
+        col_start, col_end: half-open column range of the tile.
+        nnz: number of non-zero elements that fall inside the tile.
+    """
+
+    row_start: int
+    row_end: int
+    col_start: int
+    col_end: int
+    nnz: int
+
+    @property
+    def n_rows(self) -> int:
+        return self.row_end - self.row_start
+
+    @property
+    def n_cols(self) -> int:
+        return self.col_end - self.col_start
+
+    @property
+    def cells(self) -> int:
+        """Number of matrix cells covered by the tile."""
+        return self.n_rows * self.n_cols
+
+
+def tile_grid_shape(shape: tuple[int, int], tile_rows: int, tile_cols: int) -> tuple[int, int]:
+    """Number of tiles along each dimension for a given tile size."""
+    n_rows, n_cols = shape
+    if tile_rows <= 0 or tile_cols <= 0:
+        raise ValueError("tile dimensions must be positive")
+    grid_rows = (n_rows + tile_rows - 1) // tile_rows
+    grid_cols = (n_cols + tile_cols - 1) // tile_cols
+    return grid_rows, grid_cols
+
+
+def _tile_nnz_matrix(matrix: CSRMatrix, tile_rows: int, tile_cols: int) -> np.ndarray:
+    """Count the non-zeros that land in every tile of the grid."""
+    grid_rows, grid_cols = tile_grid_shape(matrix.shape, tile_rows, tile_cols)
+    row_ids = np.repeat(np.arange(matrix.n_rows), matrix.row_nnz())
+    tile_row = row_ids // tile_rows
+    tile_col = matrix.indices // tile_cols
+    flat = tile_row * grid_cols + tile_col
+    counts = np.bincount(flat, minlength=grid_rows * grid_cols)
+    return counts.reshape(grid_rows, grid_cols)
+
+
+def iter_tiles(
+    matrix: CSRMatrix,
+    tile_rows: int,
+    tile_cols: int,
+    skip_empty: bool = True,
+) -> Iterator[Tile]:
+    """Iterate over the tile grid of a sparse matrix.
+
+    Args:
+        matrix: the sparse matrix being tiled.
+        tile_rows: tile height in matrix rows.
+        tile_cols: tile width in matrix columns.
+        skip_empty: when True (the default, matching GCNAX's behaviour of
+            fetching only tiles that contain non-zeros), tiles with zero
+            non-zeros are not yielded.
+    """
+    counts = _tile_nnz_matrix(matrix, tile_rows, tile_cols)
+    n_rows, n_cols = matrix.shape
+    grid_rows, grid_cols = counts.shape
+    for tr in range(grid_rows):
+        for tc in range(grid_cols):
+            nnz = int(counts[tr, tc])
+            if skip_empty and nnz == 0:
+                continue
+            yield Tile(
+                row_start=tr * tile_rows,
+                row_end=min((tr + 1) * tile_rows, n_rows),
+                col_start=tc * tile_cols,
+                col_end=min((tc + 1) * tile_cols, n_cols),
+                nnz=nnz,
+            )
+
+
+def tile_nnz_histogram(
+    matrix: CSRMatrix,
+    tile_rows: int,
+    tile_cols: int,
+    bin_edges: tuple[int, ...] = (1, 2, 8, 16),
+) -> dict[str, float]:
+    """Fraction of non-empty tiles falling into non-zero-count bins.
+
+    The default bins mirror the paper's Figure 5(a): exactly 1, exactly 2,
+    3-8, 9-16, and more than 16 non-zeros per tile.  The returned dict maps a
+    human-readable bin label to the fraction of non-empty tiles in that bin.
+    """
+    counts = _tile_nnz_matrix(matrix, tile_rows, tile_cols)
+    occupied = counts[counts > 0]
+    if occupied.size == 0:
+        return {}
+    edges = list(bin_edges)
+    labels: list[str] = []
+    fractions: list[float] = []
+    prev = 0
+    for edge in edges:
+        mask = (occupied > prev) & (occupied <= edge)
+        label = str(edge) if edge == prev + 1 else f"{prev + 1}~{edge}"
+        labels.append(label)
+        fractions.append(float(mask.sum()) / occupied.size)
+        prev = edge
+    labels.append(f">{edges[-1]}")
+    fractions.append(float((occupied > edges[-1]).sum()) / occupied.size)
+    return dict(zip(labels, fractions))
+
+
+def tile_occupancy_stats(matrix: CSRMatrix, tile_rows: int, tile_cols: int) -> dict[str, float]:
+    """Summary statistics of non-zeros per occupied tile."""
+    counts = _tile_nnz_matrix(matrix, tile_rows, tile_cols)
+    occupied = counts[counts > 0]
+    if occupied.size == 0:
+        return {"tiles": 0, "mean_nnz": 0.0, "median_nnz": 0.0, "max_nnz": 0.0}
+    return {
+        "tiles": int(occupied.size),
+        "mean_nnz": float(occupied.mean()),
+        "median_nnz": float(np.median(occupied)),
+        "max_nnz": float(occupied.max()),
+    }

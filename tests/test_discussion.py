@@ -1,0 +1,88 @@
+"""Tests for the Section VIII discussion features: replacement policy, CLI,
+non-power-law experiment, aggregator-support experiment."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.core.accelerator import GrowSimulator
+from repro.core.config import GrowConfig
+from repro.harness.config import ExperimentConfig
+from repro.harness.registry import run_experiment
+
+SMALL = ExperimentConfig(
+    datasets=("cora", "amazon"),
+    num_nodes_override={"cora": 250, "amazon": 700, "pokec": 400},
+    target_cluster_nodes=150,
+)
+
+
+def test_lru_replacement_config_validation():
+    with pytest.raises(ValueError):
+        GrowConfig(hdn_replacement="random")
+    assert GrowConfig(hdn_replacement="lru").hdn_replacement == "lru"
+
+
+def test_lru_replacement_runs_and_reports(scaled_arch, large_workloads, large_plan):
+    lru = GrowSimulator(GrowConfig(arch=scaled_arch, hdn_replacement="lru")).run_phase(
+        large_workloads[0].aggregation, large_plan
+    )
+    assert 0.0 <= lru.extra["hdn_hit_rate"] <= 1.0
+    assert lru.extra["hdn_hits"] + lru.extra["hdn_misses"] == large_workloads[0].aggregation.sparse.nnz
+
+
+def test_lru_has_no_prefetch_fill_traffic(scaled_arch, large_workloads, large_plan):
+    pinned = GrowSimulator(GrowConfig(arch=scaled_arch, hdn_replacement="pinned")).run_phase(
+        large_workloads[0].aggregation, large_plan
+    )
+    lru = GrowSimulator(GrowConfig(arch=scaled_arch, hdn_replacement="lru")).run_phase(
+        large_workloads[0].aggregation, large_plan
+    )
+    # Pinned pre-fills the cache (extra reads) but earns hits; both stay
+    # within sane traffic bounds.
+    assert lru.dram_read_bytes > 0
+    assert pinned.dram_read_bytes > 0
+
+
+def test_disc_replacement_policy_experiment():
+    result = run_experiment("disc_replacement_policy", config=SMALL)
+    for row in result.rows:
+        assert 0.0 <= row["hit_rate_pinned"] <= 1.0
+        assert 0.0 <= row["hit_rate_lru"] <= 1.0
+        assert row["speedup_pinned"] > 0 and row["speedup_lru"] > 0
+
+
+def test_disc_nonpowerlaw_experiment():
+    config = ExperimentConfig(
+        datasets=("pokec",), num_nodes_override={"pokec": 400}, target_cluster_nodes=150
+    )
+    result = run_experiment("disc_nonpowerlaw", config=config)
+    assert len(result.rows) == 2
+    by_graph = {row["graph"]: row for row in result.rows}
+    powerlaw = by_graph["power-law (pokec)"]
+    uniform = by_graph["uniform (erdos-renyi)"]
+    # The HDN cache exploits the power-law skew, so the hit rate on the
+    # uniform graph is no better than on the power-law graph.
+    assert uniform["hdn_hit_rate"] <= powerlaw["hdn_hit_rate"] + 0.05
+
+
+def test_disc_aggregator_support_experiment():
+    result = run_experiment("disc_aggregator_support", config=SMALL)
+    by_name = {row["aggregator"]: row for row in result.rows}
+    assert by_name["gin"]["supported_as_is"] is True
+    assert by_name["gat"]["area_overhead"] == pytest.approx(0.017)
+    assert by_name["sage_pool"]["total_area_mm2"] > by_name["gcn_sum"]["total_area_mm2"]
+
+
+def test_cli_list(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig20_speedup" in out
+    assert "disc_replacement_policy" in out
+
+
+def test_cli_run_with_dataset_restriction(capsys):
+    code = cli_main(["run", "fig3_density", "--datasets", "cora"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig3_density" in out
+    assert "cora" in out

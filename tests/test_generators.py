@@ -1,0 +1,100 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    powerlaw_degree_sequence,
+)
+
+
+def test_degree_sequence_mean_close_to_target(rng):
+    degrees = powerlaw_degree_sequence(2000, average_degree=10.0, rng=rng)
+    assert degrees.mean() == pytest.approx(10.0, rel=0.35)
+    assert degrees.min() >= 1
+
+
+def test_degree_sequence_respects_cap(rng):
+    degrees = powerlaw_degree_sequence(500, 8.0, rng=rng, max_degree=20)
+    assert degrees.max() <= 20
+
+
+def test_degree_sequence_rejects_bad_inputs(rng):
+    with pytest.raises(ValueError):
+        powerlaw_degree_sequence(0, 5.0, rng=rng)
+    with pytest.raises(ValueError):
+        powerlaw_degree_sequence(10, -1.0, rng=rng)
+
+
+def test_degree_sequence_is_skewed(rng):
+    degrees = powerlaw_degree_sequence(5000, 10.0, exponent=2.0, rng=rng)
+    assert degrees.max() > 5 * degrees.mean()
+
+
+def test_chung_lu_hits_target_degree(rng):
+    graph = chung_lu_graph(800, average_degree=12.0, rng=rng)
+    assert graph.average_degree == pytest.approx(12.0, rel=0.15)
+
+
+def test_chung_lu_no_self_loops(rng):
+    graph = chung_lu_graph(300, 6.0, rng=rng)
+    assert not np.any(graph.src == graph.dst)
+
+
+def test_chung_lu_records_communities(rng):
+    graph = chung_lu_graph(400, 6.0, num_communities=4, rng=rng)
+    assert graph.communities is not None
+    assert graph.communities.size == 400
+    assert set(np.unique(graph.communities)).issubset(set(range(4)))
+
+
+def test_chung_lu_community_structure(community_graph):
+    src, dst = community_graph.src, community_graph.dst
+    labels = community_graph.communities
+    intra = float((labels[src] == labels[dst]).mean())
+    # With intra_community_prob=0.85 most surviving edges are intra-community.
+    assert intra > 0.6
+
+
+def test_chung_lu_is_power_law(community_graph):
+    degrees = community_graph.degrees()
+    assert degrees.max() > 4 * degrees.mean()
+
+
+def test_chung_lu_reproducible():
+    g1 = chung_lu_graph(200, 5.0, rng=np.random.default_rng(42))
+    g2 = chung_lu_graph(200, 5.0, rng=np.random.default_rng(42))
+    np.testing.assert_array_equal(g1.src, g2.src)
+    np.testing.assert_array_equal(g1.dst, g2.dst)
+
+
+def test_chung_lu_max_degree_cap(rng):
+    graph = chung_lu_graph(1000, 10.0, exponent=1.8, rng=rng)
+    # The default cap keeps the heaviest hub well below the full graph.
+    assert graph.degrees().max() < 0.5 * graph.num_nodes
+
+
+def test_erdos_renyi_degree(rng):
+    graph = erdos_renyi_graph(500, average_degree=8.0, rng=rng)
+    assert graph.average_degree == pytest.approx(8.0, rel=0.25)
+
+
+def test_erdos_renyi_not_heavily_skewed(rng):
+    graph = erdos_renyi_graph(2000, 10.0, rng=rng)
+    degrees = graph.degrees()
+    assert degrees.max() < 4 * degrees.mean()
+
+
+def test_powerlaw_cluster_graph_basic(rng):
+    graph = powerlaw_cluster_graph(200, average_degree=6.0, rng=rng)
+    assert graph.num_nodes == 200
+    assert graph.num_edges > 0
+    assert graph.degrees().max() > graph.degrees().mean()
+
+
+def test_powerlaw_cluster_rejects_tiny_graphs(rng):
+    with pytest.raises(ValueError):
+        powerlaw_cluster_graph(2, average_degree=10.0, rng=rng)

@@ -1,0 +1,93 @@
+"""Unit tests for graph statistics and vertex reordering."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.reorder import apply_reorder, cluster_reorder, degree_sort_reorder, identity_reorder
+from repro.graph.partition import metis_like_partition
+from repro.graph.stats import (
+    degree_distribution,
+    degree_stats,
+    gini_coefficient,
+    powerlaw_fit_exponent,
+    top_degree_edge_coverage,
+    top_degree_nodes,
+)
+
+
+def test_degree_distribution_sorted(community_graph):
+    dist = degree_distribution(community_graph)
+    assert np.all(np.diff(dist) <= 0)
+    assert dist.sum() == community_graph.num_edges
+
+
+def test_degree_stats(tiny_graph):
+    stats = degree_stats(tiny_graph)
+    assert stats["max"] == 5
+    assert stats["min"] >= 1
+    assert stats["mean"] == pytest.approx(tiny_graph.average_degree)
+
+
+def test_top_degree_nodes(tiny_graph):
+    top = top_degree_nodes(tiny_graph, 1)
+    assert top[0] == 0  # node 0 has the highest degree in the Figure 12 graph
+
+
+def test_top_degree_nodes_capped(tiny_graph):
+    assert top_degree_nodes(tiny_graph, 100).size == tiny_graph.num_nodes
+
+
+def test_edge_coverage_monotonic(community_graph):
+    cov_small = top_degree_edge_coverage(community_graph, 10)
+    cov_large = top_degree_edge_coverage(community_graph, 100)
+    assert 0 < cov_small <= cov_large <= 1.0
+
+
+def test_edge_coverage_power_law_skew(community_graph):
+    # 10% of the nodes should cover well over 10% of the edges.
+    k = community_graph.num_nodes // 10
+    assert top_degree_edge_coverage(community_graph, k) > 0.2
+
+
+def test_gini_coefficient_bounds(community_graph):
+    gini = gini_coefficient(community_graph)
+    assert 0.0 <= gini <= 1.0
+
+
+def test_gini_higher_for_skewed_graph(community_graph):
+    uniform = Graph.from_edge_list(6, [(i, (i + 1) % 6) for i in range(6)])
+    assert gini_coefficient(community_graph) > gini_coefficient(uniform)
+
+
+def test_powerlaw_fit_exponent(community_graph):
+    exponent = powerlaw_fit_exponent(community_graph, x_min=2)
+    assert 1.2 < exponent < 4.0
+
+
+def test_identity_reorder(tiny_graph):
+    np.testing.assert_array_equal(identity_reorder(tiny_graph), np.arange(6))
+
+
+def test_degree_sort_reorder(tiny_graph):
+    perm = degree_sort_reorder(tiny_graph)
+    # Node 0 (highest degree) gets the lowest new id.
+    assert perm[0] == 0
+    reordered = apply_reorder(tiny_graph, perm)
+    assert reordered.degrees()[0] == tiny_graph.degrees().max()
+
+
+def test_degree_sort_ascending(tiny_graph):
+    perm = degree_sort_reorder(tiny_graph, descending=False)
+    reordered = apply_reorder(tiny_graph, perm)
+    assert reordered.degrees()[0] == tiny_graph.degrees().min()
+
+
+def test_cluster_reorder_matches_partition(community_graph):
+    partition = metis_like_partition(community_graph, 4, seed=0)
+    np.testing.assert_array_equal(cluster_reorder(partition), partition.permutation)
+
+
+def test_reorder_preserves_edge_count(community_graph):
+    perm = degree_sort_reorder(community_graph)
+    assert apply_reorder(community_graph, perm).num_edges == community_graph.num_edges

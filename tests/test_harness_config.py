@@ -1,0 +1,105 @@
+"""Unit tests for the experiment configuration and registry plumbing."""
+
+import pytest
+
+from repro.graph.datasets import DATASET_NAMES
+from repro.harness.config import DEFAULT_EXPERIMENT_BANDWIDTH_GBPS, ExperimentConfig, default_config
+from repro.harness.registry import get_experiment, list_experiments, register, run_experiment
+from repro.harness.report import ExperimentResult
+from repro.harness.workloads import clear_caches, get_bundle
+
+
+def test_default_config_covers_all_datasets():
+    config = default_config()
+    assert config.datasets == DATASET_NAMES
+    assert config.bandwidth_gbps == DEFAULT_EXPERIMENT_BANDWIDTH_GBPS
+    assert config.num_macs == 16
+
+
+def test_config_factories_share_architecture():
+    config = default_config(bandwidth_gbps=32.0)
+    assert config.grow_config().arch.bandwidth_gbps == 32.0
+    assert config.gcnax_config().arch.bandwidth_gbps == 32.0
+    assert config.matraptor_config().arch.bandwidth_gbps == 32.0
+    assert config.gamma_config().arch.bandwidth_gbps == 32.0
+
+
+def test_gcnax_config_uses_tile_setting():
+    config = default_config(gcnax_tile=48)
+    gcnax = config.gcnax_config()
+    assert gcnax.tile_rows == 48 and gcnax.tile_cols == 48
+
+
+def test_grow_config_overrides_forwarded():
+    config = default_config()
+    grow = config.grow_config(runahead_degree=4, enable_hdn_cache=False)
+    assert grow.runahead_degree == 4
+    assert grow.enable_hdn_cache is False
+
+
+def test_with_datasets_and_bandwidth():
+    config = default_config().with_datasets(("cora",)).with_bandwidth(8.0)
+    assert config.datasets == ("cora",)
+    assert config.bandwidth_gbps == 8.0
+
+
+def test_registry_lists_all_paper_artifacts():
+    names = list_experiments()
+    expected = {
+        "table1_datasets", "fig2_mac_ops", "fig3_density", "fig5_tile_nnz",
+        "fig6_bandwidth_util", "fig7_gcnax_breakdown", "table4_area",
+        "fig17_hdn_hit_rate", "fig18_memory_traffic", "fig19_traffic_reduction",
+        "fig20_speedup", "fig21_ablation", "fig22_energy", "fig24_pe_scaling",
+        "fig25a_runahead_sweep", "fig25b_bandwidth_sweep", "fig26_spsp_comparison",
+    }
+    assert expected <= set(names)
+
+
+def test_registry_unknown_experiment():
+    with pytest.raises(KeyError):
+        get_experiment("fig99_unknown")
+
+
+def test_registry_rejects_duplicates():
+    @register("test_only_experiment")
+    def _dummy(config):
+        return ExperimentResult(
+            name="test_only_experiment", paper_reference="-", description="-", columns=[]
+        )
+
+    with pytest.raises(ValueError):
+        register("test_only_experiment")(_dummy)
+    assert "test_only_experiment" in list_experiments()
+
+
+def test_run_experiment_with_dataset_restriction():
+    result = run_experiment(
+        "fig3_density",
+        datasets=("cora",),
+        num_nodes_override={"cora": 200},
+        target_cluster_nodes=100,
+    )
+    assert len(result.rows) == 1
+    assert result.rows[0]["dataset"] == "cora"
+
+
+def test_run_experiment_with_explicit_config():
+    config = ExperimentConfig(
+        datasets=("citeseer",),
+        num_nodes_override={"citeseer": 200},
+        target_cluster_nodes=100,
+    )
+    result = run_experiment("fig2_mac_ops", config=config)
+    assert [row["dataset"] for row in result.rows] == ["citeseer"]
+
+
+def test_bundle_caching_and_clear():
+    config = ExperimentConfig(
+        datasets=("cora",), num_nodes_override={"cora": 150}, target_cluster_nodes=64
+    )
+    first = get_bundle("cora", config)
+    second = get_bundle("cora", config)
+    assert first is second
+    clear_caches()
+    third = get_bundle("cora", config)
+    assert third is not first

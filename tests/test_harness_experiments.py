@@ -1,0 +1,139 @@
+"""Integration tests: experiments run end to end on reduced-size datasets.
+
+The full-size experiment suite is exercised by the benchmark harness; here
+each experiment runs on two shrunken datasets so the behaviour (columns,
+normalisations, internal consistency) is validated quickly on every test run.
+"""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.registry import run_experiment
+
+SMALL = ExperimentConfig(
+    datasets=("cora", "amazon"),
+    num_nodes_override={"cora": 250, "amazon": 700},
+    target_cluster_nodes=150,
+)
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return SMALL
+
+
+def test_table1_rows_and_columns(small_config):
+    result = run_experiment("table1_datasets", config=small_config)
+    assert [row["dataset"] for row in result.rows] == ["cora", "amazon"]
+    assert {"nodes", "edges", "density_A"} <= set(result.columns)
+
+
+def test_fig2_normalisation(small_config):
+    result = run_experiment("fig2_mac_ops", config=small_config)
+    for row in result.rows:
+        assert 0 < row["a_xw_normalized"] <= 1.0
+
+
+def test_fig3_density_ordering(small_config):
+    result = run_experiment("fig3_density", config=small_config)
+    for row in result.rows:
+        assert row["density_A"] <= row["density_XW"]
+
+
+def test_fig5_bins_normalised(small_config):
+    result = run_experiment("fig5_tile_nnz", config=small_config)
+    for row in result.rows:
+        fractions = [v for k, v in row.items() if k.startswith("frac_")]
+        assert sum(fractions) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_fig6_utilisation_bounds(small_config):
+    result = run_experiment("fig6_bandwidth_util", config=small_config)
+    for row in result.rows:
+        assert 0.0 < row["utilization_A"] <= 1.0
+        assert 0.0 < row["utilization_X"] <= 1.0
+
+
+def test_fig7_fractions_sum_to_one(small_config):
+    result = run_experiment("fig7_gcnax_breakdown", config=small_config)
+    for row in result.rows:
+        assert row["aggregation_fraction"] + row["combination_fraction"] == pytest.approx(1.0)
+
+
+def test_table4_independent_of_datasets(small_config):
+    result = run_experiment("table4_area", config=small_config)
+    totals = {row["component"]: row["area_mm2_65nm"] for row in result.rows}
+    assert totals["total"] == pytest.approx(
+        sum(v for k, v in totals.items() if k != "total"), rel=1e-6
+    )
+
+
+def test_fig17_hit_rates_bounded(small_config):
+    result = run_experiment("fig17_hdn_hit_rate", config=small_config)
+    for row in result.rows:
+        assert 0.0 <= row["hit_rate_without_gp"] <= 1.0
+        assert 0.0 <= row["hit_rate_with_gp"] <= 1.0
+
+
+def test_fig18_normalised_to_gcnax(small_config):
+    result = run_experiment("fig18_memory_traffic", config=small_config)
+    for row in result.rows:
+        assert row["gcnax"] == 1.0
+        assert row["grow_with_gp"] > 0.0
+
+
+def test_fig19_reductions_at_least_one(small_config):
+    result = run_experiment("fig19_traffic_reduction", config=small_config)
+    for row in result.rows:
+        assert row["with_hdn_caching"] >= 1.0
+
+
+def test_fig20_speedup_consistency(small_config):
+    result = run_experiment("fig20_speedup", config=small_config)
+    for row in result.rows:
+        grow_total = row["grow_aggregation"] + row["grow_combination"]
+        assert row["speedup_with_gp"] == pytest.approx(1.0 / grow_total, rel=1e-6)
+    assert result.metadata["geomean_speedup_with_gp"] > 0
+
+
+def test_fig21_ablation_rows(small_config):
+    result = run_experiment("fig21_ablation", config=small_config)
+    assert [row["configuration"] for row in result.rows] == [
+        "gcnax_baseline",
+        "hdn_cache_only",
+        "plus_runahead",
+        "plus_graph_partitioning",
+    ]
+
+
+def test_fig22_energy_breakdown_sums(small_config):
+    result = run_experiment("fig22_energy", config=small_config)
+    for row in result.rows:
+        components = row["mac"] + row["register_file"] + row["sram"] + row["dram"] + row["leakage"]
+        assert components == pytest.approx(row["total"], rel=1e-6)
+
+
+def test_fig24_normalised_to_single_pe(small_config):
+    result = run_experiment("fig24_pe_scaling", config=small_config)
+    for row in result.rows:
+        assert row["pe_1"] == pytest.approx(1.0)
+
+
+def test_fig25a_normalised_to_one_way(small_config):
+    result = run_experiment("fig25a_runahead_sweep", config=small_config)
+    for row in result.rows:
+        assert row["way_1"] == pytest.approx(1.0)
+        assert row["way_32"] >= 1.0 - 1e-9
+
+
+def test_fig25b_normalised_to_nominal(small_config):
+    result = run_experiment("fig25b_bandwidth_sweep", config=small_config)
+    for row in result.rows:
+        assert row["bw_1.0x"] == pytest.approx(1.0)
+        assert row["bw_0.25x"] <= 1.0 + 1e-9
+
+
+def test_fig26_comparison_columns(small_config):
+    result = run_experiment("fig26_spsp_comparison", config=small_config)
+    for row in result.rows:
+        assert row["grow"] > 0 and row["matraptor"] > 0 and row["gamma"] > 0

@@ -1,0 +1,215 @@
+"""Unit tests for the memory-system substrate (DRAM, SRAM, DMA, traffic)."""
+
+import pytest
+
+from repro.memory.dma import DMAEngine
+from repro.memory.dram import DRAMConfig, DRAMModel
+from repro.memory.sram import SRAMBuffer
+from repro.memory.traffic import TrafficCounter, bandwidth_utilization
+
+
+# ----------------------------------------------------------------------
+# TrafficCounter
+# ----------------------------------------------------------------------
+
+def test_traffic_counter_reads_and_writes():
+    counter = TrafficCounter()
+    counter.record_read("A", requested=100, transferred=128)
+    counter.record_read("A", requested=50, transferred=64)
+    counter.record_write("out", 256)
+    assert counter.total_read_bytes() == 192
+    assert counter.total_write_bytes() == 256
+    assert counter.total_bytes() == 448
+    assert counter.utilization("A") == pytest.approx(150 / 192)
+
+
+def test_traffic_counter_overall_utilization():
+    counter = TrafficCounter()
+    counter.record_read("A", 10, 100)
+    counter.record_read("B", 90, 100)
+    assert counter.utilization() == pytest.approx(0.5)
+    assert counter.utilization("missing") == 0.0
+
+
+def test_traffic_counter_rejects_negative():
+    counter = TrafficCounter()
+    with pytest.raises(ValueError):
+        counter.record_read("A", -1, 0)
+    with pytest.raises(ValueError):
+        counter.record_write("A", -5)
+
+
+def test_traffic_counter_merge():
+    a = TrafficCounter()
+    a.record_read("A", 10, 64)
+    b = TrafficCounter()
+    b.record_read("A", 20, 64)
+    b.record_write("out", 64)
+    merged = a.merge(b)
+    assert merged.requested_bytes["A"] == 30
+    assert merged.transferred_bytes["A"] == 128
+    assert merged.total_write_bytes() == 64
+
+
+def test_traffic_counter_as_dict():
+    counter = TrafficCounter()
+    counter.record_read("A", 1, 64)
+    snapshot = counter.as_dict()
+    assert snapshot["requested"]["A"] == 1
+    assert snapshot["transferred"]["A"] == 64
+
+
+def test_bandwidth_utilization_helper():
+    assert bandwidth_utilization(32, 64) == 0.5
+    assert bandwidth_utilization(100, 64) == 1.0
+    assert bandwidth_utilization(10, 0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# DRAM model
+# ----------------------------------------------------------------------
+
+def test_dram_bytes_per_cycle():
+    config = DRAMConfig(bandwidth_gbps=128.0, frequency_ghz=1.0)
+    assert config.bytes_per_cycle == pytest.approx(128 * 1024 ** 3 / 1e9)
+
+
+def test_dram_lines_rounding():
+    dram = DRAMModel()
+    assert dram.lines_for(1) == 1
+    assert dram.lines_for(64) == 1
+    assert dram.lines_for(65) == 2
+    assert dram.lines_for(0) == 0
+
+
+def test_dram_read_rounds_to_granularity():
+    dram = DRAMModel()
+    transferred = dram.read("A", 100)
+    assert transferred == 128
+    assert dram.traffic.requested_bytes["A"] == 100
+
+
+def test_dram_scattered_read():
+    dram = DRAMModel()
+    transferred = dram.read_scattered("A", num_elements=5, element_bytes=12)
+    assert transferred == 5 * 64
+    assert dram.traffic.utilization("A") == pytest.approx(60 / 320)
+
+
+def test_dram_write_and_cycles():
+    dram = DRAMModel(config=DRAMConfig(bandwidth_gbps=64.0))
+    dram.write("out", 100)
+    assert dram.traffic.total_write_bytes() == 128
+    assert dram.total_cycles() == pytest.approx(128 / dram.config.bytes_per_cycle)
+
+
+def test_dram_zero_reads_are_free():
+    dram = DRAMModel()
+    assert dram.read("A", 0) == 0
+    assert dram.cycles_for_bytes(0) == 0.0
+
+
+def test_dram_reset():
+    dram = DRAMModel()
+    dram.read("A", 1000)
+    dram.reset()
+    assert dram.traffic.total_bytes() == 0
+
+
+def test_dram_config_scaled():
+    config = DRAMConfig(bandwidth_gbps=128.0)
+    scaled = config.scaled(32.0)
+    assert scaled.bandwidth_gbps == 32.0
+    assert scaled.access_granularity == config.access_granularity
+
+
+# ----------------------------------------------------------------------
+# SRAM buffer
+# ----------------------------------------------------------------------
+
+def test_sram_allocation_and_occupancy():
+    buffer = SRAMBuffer(name="test", capacity_bytes=1024)
+    buffer.allocate(512)
+    assert buffer.occupancy == 0.5
+    assert buffer.can_fit(512)
+    assert not buffer.can_fit(513)
+    buffer.release(256)
+    assert buffer.used_bytes == 256
+
+
+def test_sram_overflow_raises():
+    buffer = SRAMBuffer(name="test", capacity_bytes=128)
+    with pytest.raises(MemoryError):
+        buffer.allocate(256)
+
+
+def test_sram_over_release_raises():
+    buffer = SRAMBuffer(name="test", capacity_bytes=128)
+    buffer.allocate(64)
+    with pytest.raises(ValueError):
+        buffer.release(128)
+
+
+def test_sram_negative_sizes_rejected():
+    buffer = SRAMBuffer(name="test", capacity_bytes=128)
+    with pytest.raises(ValueError):
+        buffer.allocate(-1)
+    with pytest.raises(ValueError):
+        buffer.release(-1)
+    with pytest.raises(ValueError):
+        SRAMBuffer(name="bad", capacity_bytes=-1)
+
+
+def test_sram_access_counters():
+    buffer = SRAMBuffer(name="test", capacity_bytes=1024)
+    buffer.record_read(100)
+    buffer.record_write(200)
+    assert buffer.reads == 1
+    assert buffer.writes == 1
+    assert buffer.total_access_bytes() == 300
+
+
+def test_sram_clear():
+    buffer = SRAMBuffer(name="test", capacity_bytes=1024)
+    buffer.allocate(1000)
+    buffer.clear()
+    assert buffer.used_bytes == 0
+    assert buffer.capacity_kb == 1.0
+
+
+def test_sram_zero_capacity_occupancy():
+    buffer = SRAMBuffer(name="empty", capacity_bytes=0)
+    assert buffer.occupancy == 0.0
+
+
+# ----------------------------------------------------------------------
+# DMA engine
+# ----------------------------------------------------------------------
+
+def test_dma_fetch_records_traffic_and_latency():
+    dram = DRAMModel(config=DRAMConfig(bandwidth_gbps=128.0, latency_cycles=100))
+    dma = DMAEngine(dram=dram)
+    buffer = SRAMBuffer(name="dst", capacity_bytes=4096)
+    request = dma.fetch_to_buffer("A", 256, buffer=buffer, now_cycle=10.0)
+    assert request.complete_cycle > 110.0
+    assert buffer.write_bytes == 256
+    assert dma.issued_requests == 1
+
+
+def test_dma_outstanding_retires_over_time():
+    dram = DRAMModel(config=DRAMConfig(latency_cycles=10))
+    dma = DMAEngine(dram=dram)
+    dma.fetch_to_buffer("A", 64, now_cycle=0.0)
+    dma.fetch_to_buffer("A", 64, now_cycle=1.0)
+    assert dma.outstanding(now_cycle=2.0) == 2
+    assert dma.outstanding(now_cycle=1e6) == 0
+    assert dma.completed_requests == 2
+
+
+def test_dma_write_from_buffer():
+    dram = DRAMModel()
+    dma = DMAEngine(dram=dram)
+    buffer = SRAMBuffer(name="src", capacity_bytes=4096)
+    written = dma.write_from_buffer("out", 100, buffer=buffer)
+    assert written == 128
+    assert buffer.read_bytes == 100

@@ -1,0 +1,53 @@
+"""Unit tests for the multi-PE GROW scaling model."""
+
+import pytest
+
+from repro.core.config import GrowConfig
+from repro.core.multi_pe import MultiPEGrowSimulator
+
+
+@pytest.fixture
+def multi_pe(scaled_arch):
+    return MultiPEGrowSimulator(GrowConfig(arch=scaled_arch))
+
+
+def test_single_pe_matches_baseline_definition(multi_pe, large_workloads, large_plan):
+    result = multi_pe.run_aggregation(large_workloads[0], 1, large_plan)
+    assert result.num_pes == 1
+    assert result.throughput_vs_single == pytest.approx(1.0)
+    assert result.total_cycles == pytest.approx(
+        multi_pe.single_pe_cycles(large_workloads[0], large_plan)
+    )
+
+
+def test_invalid_pe_count(multi_pe, large_workloads, large_plan):
+    with pytest.raises(ValueError):
+        multi_pe.run_aggregation(large_workloads[0], 0, large_plan)
+
+
+def test_throughput_never_decreases_with_pes(multi_pe, large_workloads, large_plan):
+    sweep = multi_pe.scaling_sweep(large_workloads[0], pe_counts=(1, 2, 4, 8), plan=large_plan)
+    values = [sweep[p] for p in (1, 2, 4, 8)]
+    assert values[0] == pytest.approx(1.0)
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_throughput_bounded_by_reasonable_superlinearity(multi_pe, large_workloads, large_plan):
+    result = multi_pe.run_aggregation(large_workloads[0], 16, large_plan)
+    # Super-linear speedups are possible (bandwidth pooling) but bounded.
+    assert result.throughput_vs_single <= 16 * 3
+
+
+def test_work_is_distributed_across_pes(multi_pe, large_workloads, large_plan):
+    result = multi_pe.run_aggregation(large_workloads[0], 4, large_plan)
+    busy = [c for c in result.per_pe_compute_cycles if c > 0]
+    assert len(busy) >= min(4, large_plan.num_clusters)
+
+
+def test_unpartitioned_plan_limits_scaling(multi_pe, large_workloads, small_large_dataset):
+    from repro.core.preprocess import GrowPreprocessor
+
+    plan = GrowPreprocessor().plan_from_graph(small_large_dataset.graph, partitioned=False)
+    result = multi_pe.run_aggregation(large_workloads[0], 8, plan)
+    # A single cluster cannot spread across PEs: compute stays on one PE.
+    assert sum(c > 0 for c in result.per_pe_compute_cycles) == 1

@@ -1,0 +1,110 @@
+"""Unit tests for the graph partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.partition import (
+    bfs_partition,
+    metis_like_partition,
+    partition_edge_cut,
+    partition_graph,
+)
+
+
+def _assert_valid(partition, num_nodes, num_clusters):
+    assert partition.assignment.size == num_nodes
+    assert partition.assignment.min() >= 0
+    assert partition.assignment.max() < num_clusters
+    assert partition.cluster_sizes.sum() == num_nodes
+    assert np.sort(partition.permutation).tolist() == list(range(num_nodes))
+
+
+@pytest.mark.parametrize("method", ["metis", "bfs"])
+def test_partition_is_valid(community_graph, method):
+    partition = partition_graph(community_graph, 6, method=method, seed=0)
+    _assert_valid(partition, community_graph.num_nodes, 6)
+
+
+def test_metis_like_recovers_communities(community_graph):
+    partition = metis_like_partition(community_graph, 6, seed=0)
+    cut = partition_edge_cut(community_graph, partition.assignment)
+    intra_fraction = 1.0 - cut / community_graph.num_edges
+    # The generator plants ~85% intra-community edges; the partitioner should
+    # keep well over half of the edges inside clusters.
+    assert intra_fraction > 0.55
+
+
+def test_metis_better_than_random(community_graph, rng):
+    partition = metis_like_partition(community_graph, 6, seed=0)
+    random_assignment = rng.integers(0, 6, size=community_graph.num_nodes)
+    assert partition_edge_cut(community_graph, partition.assignment) < partition_edge_cut(
+        community_graph, random_assignment
+    )
+
+
+def test_partition_balance(community_graph):
+    partition = metis_like_partition(community_graph, 6, seed=0)
+    ideal = community_graph.num_nodes / 6
+    assert partition.cluster_sizes.max() <= ideal * 1.3 + 1
+
+
+def test_single_cluster_partition(community_graph):
+    partition = metis_like_partition(community_graph, 1)
+    assert partition.num_clusters == 1
+    assert np.all(partition.assignment == 0)
+
+
+def test_more_clusters_than_nodes():
+    graph = Graph.from_edge_list(4, [(0, 1), (2, 3)])
+    partition = metis_like_partition(graph, 10)
+    assert partition.num_clusters <= 4
+    _assert_valid(partition, 4, partition.num_clusters)
+
+
+def test_invalid_cluster_count(community_graph):
+    with pytest.raises(ValueError):
+        metis_like_partition(community_graph, 0)
+    with pytest.raises(ValueError):
+        bfs_partition(community_graph, -1)
+
+
+def test_unknown_method(community_graph):
+    with pytest.raises(ValueError):
+        partition_graph(community_graph, 4, method="spectral")
+
+
+def test_cluster_slices_consistent(community_graph):
+    partition = metis_like_partition(community_graph, 5, seed=1)
+    slices = partition.cluster_slices()
+    assert slices[0][0] == 0
+    assert slices[-1][1] == community_graph.num_nodes
+    widths = [end - start for start, end in slices]
+    np.testing.assert_array_equal(widths, partition.cluster_sizes)
+
+
+def test_permutation_groups_clusters(community_graph):
+    partition = metis_like_partition(community_graph, 4, seed=0)
+    new_ids = partition.permutation
+    # After renumbering, nodes of the same cluster occupy contiguous id ranges.
+    for start, end in partition.cluster_slices():
+        original = np.where((new_ids >= start) & (new_ids < end))[0]
+        clusters = np.unique(partition.assignment[original])
+        assert clusters.size == 1
+
+
+def test_bfs_partition_deterministic(community_graph):
+    a = bfs_partition(community_graph, 5, seed=3)
+    b = bfs_partition(community_graph, 5, seed=3)
+    np.testing.assert_array_equal(a.assignment, b.assignment)
+
+
+def test_edge_cut_zero_for_single_cluster(community_graph):
+    assignment = np.zeros(community_graph.num_nodes, dtype=np.int64)
+    assert partition_edge_cut(community_graph, assignment) == 0
+
+
+def test_partition_on_disconnected_graph():
+    graph = Graph.from_edge_list(6, [(0, 1), (2, 3), (4, 5)])
+    partition = metis_like_partition(graph, 3, seed=0)
+    _assert_valid(partition, 6, 3)

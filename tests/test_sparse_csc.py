@@ -1,0 +1,79 @@
+"""Unit tests for the CSC sparse-matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.convert import coo_to_csc
+from repro.sparse.coo import COOMatrix
+
+
+def test_round_trip(small_dense):
+    csc = CSCMatrix.from_dense(small_dense)
+    np.testing.assert_allclose(csc.to_dense(), small_dense)
+
+
+def test_col_access(small_dense):
+    csc = CSCMatrix.from_dense(small_dense)
+    for j in range(csc.n_cols):
+        rows, vals = csc.col(j)
+        expected_rows = np.nonzero(small_dense[:, j])[0]
+        np.testing.assert_array_equal(np.sort(rows), expected_rows)
+        np.testing.assert_allclose(vals, small_dense[rows, j])
+
+
+def test_col_out_of_range(small_dense):
+    csc = CSCMatrix.from_dense(small_dense)
+    with pytest.raises(IndexError):
+        csc.col(csc.n_cols)
+
+
+def test_col_nnz(small_dense):
+    csc = CSCMatrix.from_dense(small_dense)
+    np.testing.assert_array_equal(csc.col_nnz(), (small_dense != 0).sum(axis=0))
+
+
+def test_iter_cols_covers_all_nnz(small_dense):
+    csc = CSCMatrix.from_dense(small_dense)
+    total = sum(rows.size for _j, rows, _vals in csc.iter_cols())
+    assert total == csc.nnz
+
+
+def test_empty():
+    csc = CSCMatrix.empty((3, 4))
+    assert csc.nnz == 0
+    assert csc.col_nnz().tolist() == [0, 0, 0, 0]
+
+
+def test_total_bytes(small_dense):
+    csc = CSCMatrix.from_dense(small_dense)
+    assert csc.total_bytes() == csc.nnz * 12 + (csc.n_cols + 1) * 4
+
+
+def test_invalid_indptr_rejected():
+    with pytest.raises(ValueError):
+        CSCMatrix(shape=(2, 2), indptr=np.array([0, 1]), indices=np.array([0]), data=np.array([1.0]))
+
+
+def test_row_index_out_of_bounds_rejected():
+    with pytest.raises(ValueError):
+        CSCMatrix(
+            shape=(2, 1), indptr=np.array([0, 1]), indices=np.array([7]), data=np.array([1.0])
+        )
+
+
+def test_coo_to_csc_duplicates_summed():
+    coo = COOMatrix(
+        shape=(2, 2),
+        rows=np.array([0, 0]),
+        cols=np.array([1, 1]),
+        vals=np.array([1.5, 2.5]),
+    )
+    csc = coo_to_csc(coo)
+    assert csc.nnz == 1
+    assert csc.to_dense()[0, 1] == 4.0
+
+
+def test_density(small_dense):
+    csc = CSCMatrix.from_dense(small_dense)
+    assert csc.density == pytest.approx((small_dense != 0).mean())

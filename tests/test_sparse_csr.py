@@ -1,0 +1,106 @@
+"""Unit tests for the CSR sparse-matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.convert import dense_to_csr
+
+
+def test_round_trip(small_dense):
+    csr = dense_to_csr(small_dense)
+    np.testing.assert_allclose(csr.to_dense(), small_dense)
+
+
+def test_shape_properties(small_dense):
+    csr = dense_to_csr(small_dense)
+    assert csr.n_rows == small_dense.shape[0]
+    assert csr.n_cols == small_dense.shape[1]
+    assert csr.nnz == int((small_dense != 0).sum())
+
+
+def test_empty():
+    csr = CSRMatrix.empty((4, 6))
+    assert csr.nnz == 0
+    assert csr.row_nnz().tolist() == [0, 0, 0, 0]
+    assert not csr.to_dense().any()
+
+
+def test_row_access(small_dense):
+    csr = dense_to_csr(small_dense)
+    for i in range(csr.n_rows):
+        cols, vals = csr.row(i)
+        expected_cols = np.nonzero(small_dense[i])[0]
+        np.testing.assert_array_equal(np.sort(cols), expected_cols)
+        np.testing.assert_allclose(vals, small_dense[i, cols])
+
+
+def test_row_out_of_range(small_csr):
+    with pytest.raises(IndexError):
+        small_csr.row(small_csr.n_rows)
+    with pytest.raises(IndexError):
+        small_csr.row(-1)
+
+
+def test_iter_rows_covers_all_nnz(small_csr):
+    total = sum(cols.size for _i, cols, _vals in small_csr.iter_rows())
+    assert total == small_csr.nnz
+
+
+def test_row_nnz_matches_indptr(small_csr):
+    np.testing.assert_array_equal(small_csr.row_nnz(), np.diff(small_csr.indptr))
+
+
+def test_matmul_dense_matches_numpy(small_dense, rng):
+    csr = dense_to_csr(small_dense)
+    dense = rng.standard_normal((small_dense.shape[1], 5))
+    np.testing.assert_allclose(csr.matmul_dense(dense), small_dense @ dense)
+
+
+def test_matmul_dense_dimension_mismatch(small_csr, rng):
+    with pytest.raises(ValueError):
+        small_csr.matmul_dense(rng.standard_normal((small_csr.n_cols + 1, 3)))
+
+
+def test_row_bytes_and_total_bytes(small_csr):
+    per_row = sum(small_csr.row_bytes(i) for i in range(small_csr.n_rows))
+    assert per_row == small_csr.nnz * 12
+    assert small_csr.total_bytes() == small_csr.nnz * 12 + (small_csr.n_rows + 1) * 4
+
+
+def test_select_rows(small_dense):
+    csr = dense_to_csr(small_dense)
+    rows = np.array([3, 0, 7])
+    subset = csr.select_rows(rows)
+    np.testing.assert_allclose(subset.to_dense(), small_dense[rows])
+
+
+def test_select_rows_empty_selection(small_csr):
+    subset = small_csr.select_rows(np.array([], dtype=np.int64))
+    assert subset.n_rows == 0
+    assert subset.nnz == 0
+
+
+def test_invalid_indptr_rejected():
+    with pytest.raises(ValueError):
+        CSRMatrix(shape=(2, 2), indptr=np.array([0, 1]), indices=np.array([0]), data=np.array([1.0]))
+    with pytest.raises(ValueError):
+        CSRMatrix(
+            shape=(2, 2), indptr=np.array([0, 2, 1]), indices=np.array([0]), data=np.array([1.0])
+        )
+
+
+def test_column_index_out_of_bounds_rejected():
+    with pytest.raises(ValueError):
+        CSRMatrix(
+            shape=(1, 2), indptr=np.array([0, 1]), indices=np.array([5]), data=np.array([1.0])
+        )
+
+
+def test_density(small_dense):
+    csr = dense_to_csr(small_dense)
+    assert csr.density == pytest.approx((small_dense != 0).mean())
+
+
+def test_from_dense_classmethod(small_dense):
+    np.testing.assert_allclose(CSRMatrix.from_dense(small_dense).to_dense(), small_dense)
