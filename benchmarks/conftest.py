@@ -1,24 +1,31 @@
 """Shared fixtures for the benchmark suite.
 
-Each benchmark regenerates one of the paper's tables or figures through the
-experiment harness.  The underlying workload bundles (synthetic graphs, GCN
-models, preprocessing plans) are cached process-wide, so the first benchmark
-pays the construction cost and the rest reuse it.
+Each benchmark validates one of the paper's tables or figures, but none of
+them recomputes anything on its own: a session-scoped
+:class:`~repro.harness.suite.SuiteRunner` executes every registered
+experiment once — in parallel across worker processes, served from the
+on-disk result cache under ``benchmarks/results/cache`` when the
+configuration and code are unchanged — and writes the JSON/Markdown report
+artefacts into ``benchmarks/results/``.  The benchmarks then assert the
+paper's qualitative claims against the suite's results.
 
-Every benchmark also writes the regenerated table to
-``benchmarks/results/<experiment>.txt`` so the artefacts can be inspected (and
-diffed against EXPERIMENTS.md) after a run.
+Environment knobs:
+
+* ``REPRO_BENCH_JOBS`` — worker processes for the suite run (default: one
+  per CPU).
+* ``REPRO_BENCH_FORCE=1`` — recompute every experiment even on cache hits.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.harness import default_config, get_experiment
+from repro.harness import SuiteRunner, default_config
 from repro.harness.config import ExperimentConfig
-from repro.harness.report import ExperimentResult
+from repro.harness.suite import SuiteReport
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -29,15 +36,16 @@ def experiment_config() -> ExperimentConfig:
     return default_config()
 
 
-def run_and_record(benchmark, name: str, config: ExperimentConfig) -> ExperimentResult:
-    """Run one experiment under pytest-benchmark and persist its table.
-
-    Experiments are deterministic and expensive relative to microbenchmarks,
-    so they are measured with a single round/iteration; the interesting output
-    is the regenerated table, not nanosecond-level timing.
-    """
-    experiment = get_experiment(name)
-    result = benchmark.pedantic(experiment, args=(config,), rounds=1, iterations=1)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(result.to_table() + "\n")
-    return result
+@pytest.fixture(scope="session")
+def suite_report(experiment_config: ExperimentConfig) -> SuiteReport:
+    """One orchestrated suite run shared by every benchmark of the session."""
+    runner = SuiteRunner(
+        config=experiment_config,
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "0")),
+        force=os.environ.get("REPRO_BENCH_FORCE", "") == "1",
+        results_dir=RESULTS_DIR,
+    )
+    report = runner.run()
+    failed = [outcome.name for outcome in report.outcomes if not outcome.ok]
+    assert not failed, f"suite experiments failed: {failed}"
+    return report

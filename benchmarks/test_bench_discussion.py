@@ -1,10 +1,8 @@
 """Benchmarks for the Section VIII discussion studies (ablation-style extras)."""
 
-from conftest import run_and_record
 
-
-def test_disc_replacement_policy(benchmark, experiment_config):
-    result = run_and_record(benchmark, "disc_replacement_policy", experiment_config)
+def test_disc_replacement_policy(suite_report):
+    result = suite_report.result("disc_replacement_policy")
     pinned = [row["speedup_pinned"] for row in result.rows]
     lru = [row["speedup_lru"] for row in result.rows]
     # The paper's conclusion: statically pinning the high-degree nodes is the
@@ -12,8 +10,8 @@ def test_disc_replacement_policy(benchmark, experiment_config):
     assert sum(pinned) / len(pinned) >= sum(lru) / len(lru) * 0.95
 
 
-def test_disc_nonpowerlaw(benchmark, experiment_config):
-    result = run_and_record(benchmark, "disc_nonpowerlaw", experiment_config)
+def test_disc_nonpowerlaw(suite_report):
+    result = suite_report.result("disc_nonpowerlaw")
     by_graph = {row["graph"]: row for row in result.rows}
     uniform = by_graph["uniform (erdos-renyi)"]
     powerlaw = by_graph["power-law (pokec)"]
@@ -23,8 +21,8 @@ def test_disc_nonpowerlaw(benchmark, experiment_config):
     assert uniform["speedup_over_gcnax"] > 0
 
 
-def test_disc_aggregator_support(benchmark, experiment_config):
-    result = run_and_record(benchmark, "disc_aggregator_support", experiment_config)
+def test_disc_aggregator_support(suite_report):
+    result = suite_report.result("disc_aggregator_support")
     by_name = {row["aggregator"]: row for row in result.rows}
     # The paper's quoted overheads: 1.4% for pooling, 1.7% for attention.
     assert by_name["sage_pool"]["area_overhead"] == 0.014

@@ -1,12 +1,10 @@
 """Benchmark regenerating Figure 17: HDN cache hit rate with/without partitioning."""
 
-from repro.graph.datasets import LARGE_DATASETS, SMALL_DATASETS
-
-from conftest import run_and_record
+from repro.graph.datasets import SMALL_DATASETS
 
 
-def test_fig17_hdn_hit_rate(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig17_hdn_hit_rate", experiment_config)
+def test_fig17_hdn_hit_rate(suite_report):
+    result = suite_report.result("fig17_hdn_hit_rate")
     by_dataset = {row["dataset"]: row for row in result.rows}
     # Small graphs fit the HDN cache, so hit rates are high either way.
     for name in SMALL_DATASETS:

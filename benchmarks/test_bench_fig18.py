@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 18: DRAM traffic normalised to GCNAX."""
 
-from conftest import run_and_record
 
-
-def test_fig18_memory_traffic(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig18_memory_traffic", experiment_config)
+def test_fig18_memory_traffic(suite_report):
+    result = suite_report.result("fig18_memory_traffic")
     ratios = []
     for row in result.rows:
         assert row["gcnax"] == 1.0

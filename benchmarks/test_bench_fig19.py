@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 19: traffic reduction from caching and partitioning."""
 
-from conftest import run_and_record
 
-
-def test_fig19_traffic_reduction(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig19_traffic_reduction", experiment_config)
+def test_fig19_traffic_reduction(suite_report):
+    result = suite_report.result("fig19_traffic_reduction")
     for row in result.rows:
         assert row["without_hdn_caching"] == 1.0
         # HDN caching always reduces traffic, and adding graph partitioning

@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 2: MAC operations of both execution orders."""
 
-from conftest import run_and_record
 
-
-def test_fig2_mac_ops(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig2_mac_ops", experiment_config)
+def test_fig2_mac_ops(suite_report, experiment_config):
+    result = suite_report.result("fig2_mac_ops")
     assert len(result.rows) == len(experiment_config.datasets)
     # The A(XW) order must never require more MACs than (AX)W — the reason the
     # paper (and AWB-GCN/GCNAX) adopt it.

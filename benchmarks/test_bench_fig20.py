@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 20: speedup and latency breakdown vs GCNAX."""
 
-from conftest import run_and_record
 
-
-def test_fig20_speedup(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig20_speedup", experiment_config)
+def test_fig20_speedup(suite_report):
+    result = suite_report.result("fig20_speedup")
     geomean = result.metadata["geomean_speedup_with_gp"]
     # The paper reports an average 2.8x; the scaled reproduction should land
     # comfortably above parity with the same winners.

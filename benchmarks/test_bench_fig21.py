@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 21: the ablation study."""
 
-from conftest import run_and_record
 
-
-def test_fig21_ablation(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig21_ablation", experiment_config)
+def test_fig21_ablation(suite_report):
+    result = suite_report.result("fig21_ablation")
     by_config = {row["configuration"]: row["geomean_speedup"] for row in result.rows}
     assert by_config["gcnax_baseline"] == 1.0
     # Every incremental optimisation helps on average.

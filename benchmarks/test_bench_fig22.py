@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 22: energy breakdown normalised to GCNAX."""
 
-from conftest import run_and_record
 
-
-def test_fig22_energy(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig22_energy", experiment_config)
+def test_fig22_energy(suite_report, experiment_config):
+    result = suite_report.result("fig22_energy")
     # Three designs per dataset.
     assert len(result.rows) == 3 * len(experiment_config.datasets)
     by_key = {(row["dataset"], row["design"]): row for row in result.rows}

@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 24: performance scalability with PE count."""
 
-from conftest import run_and_record
 
-
-def test_fig24_pe_scaling(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig24_pe_scaling", experiment_config)
+def test_fig24_pe_scaling(suite_report):
+    result = suite_report.result("fig24_pe_scaling")
     for row in result.rows:
         # Throughput is normalised to one PE and never decreases with more PEs.
         assert abs(row["pe_1"] - 1.0) < 1e-6

@@ -1,10 +1,8 @@
 """Benchmarks regenerating Figure 25: runahead-degree and bandwidth sensitivity."""
 
-from conftest import run_and_record
 
-
-def test_fig25a_runahead_sweep(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig25a_runahead_sweep", experiment_config)
+def test_fig25a_runahead_sweep(suite_report):
+    result = suite_report.result("fig25a_runahead_sweep")
     for row in result.rows:
         # More runahead never hurts, and 16-way captures essentially all of the
         # benefit (the paper's chosen design point).
@@ -13,8 +11,8 @@ def test_fig25a_runahead_sweep(benchmark, experiment_config):
         assert row["way_32"] <= row["way_16"] * 1.2
 
 
-def test_fig25b_bandwidth_sweep(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig25b_bandwidth_sweep", experiment_config)
+def test_fig25b_bandwidth_sweep(suite_report, experiment_config):
+    result = suite_report.result("fig25b_bandwidth_sweep")
     by_key = {(row["dataset"], row["design"]): row for row in result.rows}
     steeper = 0
     for name in experiment_config.datasets:

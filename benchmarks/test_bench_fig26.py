@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 26: GROW vs MatRaptor and GAMMA."""
 
-from conftest import run_and_record
 
-
-def test_fig26_spsp_comparison(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig26_spsp_comparison", experiment_config)
+def test_fig26_spsp_comparison(suite_report):
+    result = suite_report.result("fig26_spsp_comparison")
     for row in result.rows:
         assert row["gcnax"] == 1.0
         # GROW outperforms both generic sparse-sparse Gustavson designs, and

@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 3: densities of the four GCN matrices."""
 
-from conftest import run_and_record
 
-
-def test_fig3_density(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig3_density", experiment_config)
+def test_fig3_density(suite_report):
+    result = suite_report.result("fig3_density")
     for row in result.rows:
         # A is always far sparser than the dense RHS matrices, and W is dense.
         assert row["density_A"] < 0.1

@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 5: non-zeros per GCNAX tile."""
 
-from conftest import run_and_record
 
-
-def test_fig5_tile_nnz(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig5_tile_nnz", experiment_config)
+def test_fig5_tile_nnz(suite_report, experiment_config):
+    result = suite_report.result("fig5_tile_nnz")
     # Two rows (matrix A and matrix X) per dataset.
     assert len(result.rows) == 2 * len(experiment_config.datasets)
     by_key = {(row["dataset"], row["matrix"]): row for row in result.rows}

@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 6: effective bandwidth utilisation of GCNAX."""
 
-from conftest import run_and_record
 
-
-def test_fig6_bandwidth_util(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig6_bandwidth_util", experiment_config)
+def test_fig6_bandwidth_util(suite_report):
+    result = suite_report.result("fig6_bandwidth_util")
     for row in result.rows:
         # Fetching the (dense-ish) feature matrix X is always at least as
         # efficient as fetching the much sparser adjacency matrix A.

@@ -1,10 +1,8 @@
 """Benchmark regenerating Figure 7: GCNAX's latency breakdown."""
 
-from conftest import run_and_record
 
-
-def test_fig7_gcnax_breakdown(benchmark, experiment_config):
-    result = run_and_record(benchmark, "fig7_gcnax_breakdown", experiment_config)
+def test_fig7_gcnax_breakdown(suite_report):
+    result = suite_report.result("fig7_gcnax_breakdown")
     for row in result.rows:
         total = row["aggregation_fraction"] + row["combination_fraction"]
         assert abs(total - 1.0) < 1e-6

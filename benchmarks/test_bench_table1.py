@@ -1,10 +1,8 @@
 """Benchmark regenerating Table I: dataset structure and key features."""
 
-from conftest import run_and_record
 
-
-def test_table1_datasets(benchmark, experiment_config):
-    result = run_and_record(benchmark, "table1_datasets", experiment_config)
+def test_table1_datasets(suite_report, experiment_config):
+    result = suite_report.result("table1_datasets")
     assert len(result.rows) == len(experiment_config.datasets)
     # Rows come out in Table I order and every graph is non-trivial.
     assert tuple(result.column("dataset")) == tuple(experiment_config.datasets)

@@ -2,11 +2,9 @@
 
 from repro.energy.area import GCNAX_AREA_MM2_40NM
 
-from conftest import run_and_record
 
-
-def test_table4_area(benchmark, experiment_config):
-    result = run_and_record(benchmark, "table4_area", experiment_config)
+def test_table4_area(suite_report):
+    result = suite_report.result("table4_area")
     by_component = {row["component"]: row for row in result.rows}
     total_65 = by_component["total"]["area_mm2_65nm"]
     total_40 = by_component["total"]["area_mm2_40nm"]

@@ -1,6 +1,10 @@
 #!/usr/bin/env python
 """Characterise the GCN workloads the way the paper's motivation section does.
 
+Paper reference: Table I, Figure 3 and Figure 6 — the Section IV claim that
+GCN inputs are hypersparse and heterogeneous, so GCNAX's 2-D tiling wastes
+most of its fetched DRAM bandwidth on the sparse matrices.
+
 Regenerates, for a configurable set of datasets, the three characterisation
 artefacts of the paper's Section IV:
 

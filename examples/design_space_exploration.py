@@ -1,6 +1,10 @@
 #!/usr/bin/env python
 """Design-space exploration of the GROW architecture.
 
+Paper reference: Figure 25(a) (runahead sensitivity), Figure 25(b)
+(bandwidth sensitivity) and Table IV (area) — the sizing studies behind the
+paper's chosen design point (Table III).
+
 Uses the public simulator API to answer the questions an architect would ask
 before committing to a configuration:
 

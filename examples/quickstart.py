@@ -1,10 +1,18 @@
 #!/usr/bin/env python
-"""Quickstart: simulate one GCN dataset on GROW and on the GCNAX baseline.
+"""Quickstart: drive the reproduction through its CLI entry points.
 
-Builds the Cora stand-in dataset, constructs its two-layer GCN, runs the
-GROW preprocessing pass (graph partitioning + HDN ID lists), simulates both
-accelerators on identical workloads and prints the comparison the paper's
-evaluation revolves around: cycles, DRAM traffic, HDN cache hit rate.
+Paper reference: Figure 20 (end-to-end speedup over GCNAX) — the headline
+evaluation claim — plus the experiment inventory and suite orchestration
+that regenerate every other figure.
+
+Walks the same path as README.md's quickstart, calling the
+``python -m repro`` commands in-process:
+
+1. ``repro list``  — what can be reproduced,
+2. ``repro run``   — one figure, printed as a table,
+3. ``repro suite`` — a cached, parallel suite run (smoke-sized here, with
+   its JSON/Markdown reports written to a temporary directory),
+4. the library API behind those commands, for programmatic use.
 
 Run with::
 
@@ -14,13 +22,19 @@ Run with::
 from __future__ import annotations
 
 import sys
+import tempfile
+from pathlib import Path
 
-from repro.accelerators import GCNAXSimulator
-from repro.accelerators.workload import build_model_workloads
-from repro.core import GrowPreprocessor, GrowSimulator
-from repro.gcn.layer import build_model_for_dataset
-from repro.graph.datasets import DATASET_NAMES, load_dataset
-from repro.harness.config import default_config
+from repro.__main__ import main as _repro_main
+from repro.graph.datasets import DATASET_NAMES
+from repro.harness import run_experiment, smoke_config
+
+
+def repro_cli(argv: list[str]) -> None:
+    """Invoke the ``python -m repro`` CLI, failing loudly on a nonzero exit."""
+    code = _repro_main(argv)
+    if code != 0:
+        raise SystemExit(f"'repro {' '.join(argv)}' failed with exit code {code}")
 
 
 def main() -> None:
@@ -28,51 +42,32 @@ def main() -> None:
     if dataset_name not in DATASET_NAMES:
         raise SystemExit(f"unknown dataset {dataset_name!r}; choose from {DATASET_NAMES}")
 
-    config = default_config()
+    print("== 1. The experiment inventory: python -m repro list --verbose ==")
+    repro_cli(["list", "--verbose"])
 
-    print(f"== Building the {dataset_name} stand-in dataset and its GCN ==")
-    dataset = load_dataset(dataset_name)
-    graph = dataset.graph
+    print(f"\n== 2. One figure on one dataset: python -m repro run fig20_speedup "
+          f"--datasets {dataset_name} ==")
+    repro_cli(["run", "fig20_speedup", "--datasets", dataset_name])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print("== 3. Suite orchestration: python -m repro suite --smoke --jobs 2 ==")
+        argv = ["suite", "--smoke", "--jobs", "2", "--results-dir", tmp,
+                "fig17_hdn_hit_rate", "fig18_memory_traffic", "fig20_speedup"]
+        repro_cli(argv)
+        print("\n-- second invocation: served from the on-disk result cache --")
+        repro_cli(argv)
+        reports = sorted(p.name for p in Path(tmp).iterdir() if p.is_file())
+        print(f"\nreports written: {reports}")
+
+    print("\n== 4. The library API behind the CLI ==")
+    result = run_experiment("fig20_speedup", config=smoke_config())
+    row = result.rows[0]
     print(
-        f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
-        f"average degree {graph.average_degree:.1f}"
+        f"run_experiment('fig20_speedup', config=smoke_config()) -> "
+        f"{row['dataset']}: {row['speedup_with_gp']:.2f}x speedup over GCNAX "
+        f"(geomean {result.metadata['geomean_speedup_with_gp']:.2f}x)"
     )
-    model = build_model_for_dataset(dataset)
-    workloads = build_model_workloads(model)
-    for workload in workloads:
-        print(
-            f"  {workload.name}: combination {workload.combination.sparse.shape} x "
-            f"{workload.combination.dense_shape}, aggregation "
-            f"{workload.aggregation.sparse.shape} x {workload.aggregation.dense_shape}"
-        )
-
-    print("\n== GROW preprocessing (graph partitioning + HDN ID lists) ==")
-    preprocessor = GrowPreprocessor(target_cluster_nodes=config.target_cluster_nodes)
-    plan = preprocessor.plan_from_graph(graph)
-    print(
-        f"{plan.num_clusters} clusters, HDN ID list storage "
-        f"{plan.hdn_storage_bytes() / 1024:.1f} KB, "
-        f"preprocessing took {plan.preprocessing_seconds * 1e3:.1f} ms"
-    )
-
-    print("\n== Simulation ==")
-    gcnax = GCNAXSimulator(config.gcnax_config()).run_model(workloads)
-    grow = GrowSimulator(config.grow_config()).run_model(workloads, plan)
-
-    def describe(label: str, result) -> None:
-        print(
-            f"{label:8s} cycles {result.total_cycles:12.0f}   "
-            f"DRAM {result.total_dram_bytes / 1e6:8.2f} MB   "
-            f"aggregation share {result.phase_cycles('aggregation') / result.total_cycles:5.1%}"
-        )
-
-    describe("GCNAX", gcnax)
-    describe("GROW", grow)
-    print(
-        f"\nGROW speedup over GCNAX: {grow.speedup_over(gcnax):.2f}x, "
-        f"DRAM traffic ratio: {grow.traffic_ratio_to(gcnax):.2f}, "
-        f"HDN cache hit rate: {grow.extra['hdn_hit_rate']:.1%}"
-    )
+    print("see README.md for the full clone-to-figure workflow")
 
 
 if __name__ == "__main__":

@@ -1,6 +1,10 @@
 #!/usr/bin/env python
 """Social-network inference: the workload class GROW was designed for.
 
+Paper reference: Figure 21 (the ablation study) and Figure 17 (HDN cache
+hit rate) — each of GROW's three optimisations applied one at a time on a
+power-law social graph.
+
 The paper's motivation is GCN inference on large power-law graphs (social
 networks, e-commerce).  This example builds a Pokec-like social graph,
 shows why the aggregation phase dominates on such graphs, and walks through

@@ -11,14 +11,20 @@ convolutional networks.  This package contains the full reproduction stack:
 * ``repro.accelerators`` — GCNAX, HyGCN, MatRaptor and GAMMA baselines
 * ``repro.core``    — the GROW accelerator itself
 * ``repro.analysis`` — workload characterisation (densities, tiles, bandwidth)
-* ``repro.harness`` — experiment runners that regenerate the paper's tables
-  and figures
+* ``repro.harness`` — experiment registry, suite orchestration (parallel
+  execution + on-disk result caching) and structured reports
 
 Quick start::
 
     from repro.harness import run_experiment
     result = run_experiment("fig20_speedup", datasets=("cora", "citeseer"))
     print(result.to_table())
+
+Or from the command line (see README.md for the full workflow)::
+
+    python -m repro list --verbose
+    python -m repro run fig20_speedup
+    python -m repro suite --jobs 8        # full figure suite, cached
 """
 
 __version__ = "1.0.0"

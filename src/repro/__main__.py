@@ -3,14 +3,29 @@
 Commands:
 
 * ``list``                       — list the registered experiments.
-* ``run <experiment> [...]``     — run one or more experiments and print their tables.
 * ``datasets``                   — print the synthetic dataset inventory (Table I).
+* ``run <experiment> [...]``     — run experiments and print their tables.
+* ``suite``                      — run many experiments in parallel with
+  on-disk result caching and JSON/Markdown reports (the workhorse command).
+* ``report``                     — render previously computed suite results
+  without recomputing anything.
+
+Examples::
+
+    python -m repro list --verbose
+    python -m repro run fig20_speedup --datasets cora citeseer
+    python -m repro suite --jobs 8                 # full figure suite, parallel
+    python -m repro suite --jobs 8                 # second run: all cache hits
+    python -m repro suite --smoke --jobs 2         # CI smoke target
+    python -m repro report fig20_speedup
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -20,46 +35,216 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list registered experiments")
+    list_parser = subparsers.add_parser("list", help="list registered experiments")
+    list_parser.add_argument(
+        "--verbose", action="store_true", help="include a one-line summary per experiment"
+    )
+
     subparsers.add_parser("datasets", help="print the synthetic dataset inventory")
 
     run_parser = subparsers.add_parser("run", help="run experiments and print their tables")
     run_parser.add_argument("experiments", nargs="+", help="experiment ids (see 'list')")
-    run_parser.add_argument(
-        "--datasets", nargs="*", default=None, help="restrict to these datasets"
+    _add_config_arguments(run_parser)
+
+    suite_parser = subparsers.add_parser(
+        "suite",
+        help="run experiments in parallel with result caching and reports",
     )
-    run_parser.add_argument(
-        "--bandwidth", type=float, default=None, help="override DRAM bandwidth in GB/s"
+    suite_parser.add_argument(
+        "experiments", nargs="*", help="experiment ids (default: every registered experiment)"
+    )
+    _add_config_arguments(suite_parser)
+    suite_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (0 = one per CPU; default 1)"
+    )
+    suite_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced-size CI configuration (two shrunken datasets)",
+    )
+    suite_parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        help="report/cache directory (default benchmarks/results)",
+    )
+    suite_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    suite_parser.add_argument(
+        "--force", action="store_true", help="recompute even when a cached result exists"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="render previously computed suite results"
+    )
+    report_parser.add_argument(
+        "experiments", nargs="*", help="experiment ids (default: everything in the results dir)"
+    )
+    report_parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        help="directory holding <experiment>.json files (default benchmarks/results)",
+    )
+    report_parser.add_argument(
+        "--format",
+        choices=("markdown", "table"),
+        default="markdown",
+        help="output rendering (default markdown)",
     )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--datasets", nargs="*", default=None, help="restrict to these datasets"
+    )
+    parser.add_argument(
+        "--bandwidth", type=float, default=None, help="override DRAM bandwidth in GB/s"
+    )
 
-    from repro.harness import default_config, list_experiments, run_experiment
 
-    if args.command == "list":
-        for name in list_experiments():
-            print(name)
-        return 0
+def _validate_experiments(names) -> None:
+    from repro.harness import list_experiments
 
-    if args.command == "datasets":
-        result = run_experiment("table1_datasets")
-        print(result.to_table())
-        return 0
+    known = list_experiments()
+    unknown = [name for name in names if name not in set(known)]
+    if unknown:
+        raise SystemExit(f"unknown experiments {unknown}; choose from {known}")
 
+
+def _config_from_args(args):
+    from repro.graph.datasets import DATASET_NAMES
+    from repro.harness import default_config, smoke_config
+
+    unknown = [name for name in (args.datasets or ()) if name not in DATASET_NAMES]
+    if unknown:
+        raise SystemExit(
+            f"unknown datasets {unknown}; choose from {list(DATASET_NAMES)} "
+            "(note: experiment ids go before --datasets)"
+        )
     overrides = {}
     if args.bandwidth is not None:
         overrides["bandwidth_gbps"] = args.bandwidth
-    config = default_config(
+    if getattr(args, "smoke", False):
+        return smoke_config(
+            datasets=tuple(args.datasets) if args.datasets else None, **overrides
+        )
+    return default_config(
         datasets=tuple(args.datasets) if args.datasets else None, **overrides
     )
+
+
+def _cmd_list(args) -> int:
+    from repro.harness import experiment_summary, list_experiments
+
+    for name in list_experiments():
+        if args.verbose:
+            print(f"{name:28s} {experiment_summary(name)}")
+        else:
+            print(name)
+    return 0
+
+
+def _cmd_datasets() -> int:
+    from repro.harness import run_experiment
+
+    print(run_experiment("table1_datasets").to_table())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness import run_experiment
+
+    _validate_experiments(args.experiments)
+    config = _config_from_args(args)
     for name in args.experiments:
         result = run_experiment(name, config=config)
         print(result.to_table())
         print()
     return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.harness import SuiteRunner
+    from repro.harness.suite import DEFAULT_RESULTS_DIR
+
+    _validate_experiments(args.experiments)
+    results_dir = args.results_dir if args.results_dir is not None else DEFAULT_RESULTS_DIR
+    runner = SuiteRunner(
+        config=_config_from_args(args),
+        experiments=args.experiments or None,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        force=args.force,
+        results_dir=results_dir,
+    )
+
+    def progress(outcome) -> None:
+        label = {"ran": "ran   ", "cached": "cached", "failed": "FAILED"}[outcome.status]
+        print(f"  {label}  {outcome.name}  ({outcome.seconds:.2f}s)")
+
+    print(
+        f"running {len(runner.experiments)} experiments with {runner.jobs} job(s); "
+        f"reports -> {results_dir}"
+    )
+    report = runner.run(progress=progress)
+    print(
+        f"done in {report.total_seconds:.1f}s: {report.num_ran} ran, "
+        f"{report.num_cached} cached, {report.num_failed} failed"
+    )
+    for outcome in report.outcomes:
+        if outcome.error:
+            print(f"\n{outcome.name} failed:\n{outcome.error}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.harness import ExperimentResult
+    from repro.harness.suite import DEFAULT_RESULTS_DIR
+
+    results_dir = args.results_dir if args.results_dir is not None else DEFAULT_RESULTS_DIR
+    if args.experiments:
+        paths = [results_dir / f"{name}.json" for name in args.experiments]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(
+                f"no stored results for {[p.stem for p in missing]} in {results_dir}; "
+                "run 'python -m repro suite' first",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        paths = sorted(
+            p for p in results_dir.glob("*.json") if p.name != "suite_report.json"
+        )
+        if not paths:
+            print(
+                f"no stored results in {results_dir}; run 'python -m repro suite' first",
+                file=sys.stderr,
+            )
+            return 1
+    for path in paths:
+        result = ExperimentResult.from_dict(json.loads(path.read_text()))
+        print(result.to_markdown() if args.format == "markdown" else result.to_table())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "suite":
+        return _cmd_suite(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
 
 
 if __name__ == "__main__":

@@ -91,3 +91,34 @@ def default_config(datasets: tuple[str, ...] | None = None, **overrides) -> Expe
     if datasets is not None:
         config = config.with_datasets(tuple(datasets))
     return config
+
+
+# Shrunken node counts used by the smoke configuration; small enough that the
+# whole suite finishes in seconds while every experiment still runs end to end.
+SMOKE_NODE_OVERRIDES = {"cora": 250, "amazon": 700}
+
+# Node count used when a smoke run asks for a dataset without a curated entry
+# in SMOKE_NODE_OVERRIDES — every dataset stays shrunken under --smoke.
+SMOKE_DEFAULT_NUM_NODES = 500
+
+
+def smoke_config(datasets: tuple[str, ...] | None = None, **overrides) -> ExperimentConfig:
+    """Reduced-size configuration for CI smoke runs (``repro suite --smoke``).
+
+    By default two datasets (one citation, one e-commerce graph) at a
+    fraction of their scaled node counts, with a matching cluster target.
+    Exercises every experiment's full code path — simulators, preprocessing,
+    caching, reporting — without the minutes-long cost of the full suite.
+    Explicitly requested ``datasets`` are shrunken too, so a smoke run never
+    silently builds a full-size graph.
+    """
+    names = tuple(datasets) if datasets is not None else tuple(SMOKE_NODE_OVERRIDES)
+    defaults: dict = dict(
+        datasets=names,
+        num_nodes_override={
+            name: SMOKE_NODE_OVERRIDES.get(name, SMOKE_DEFAULT_NUM_NODES) for name in names
+        },
+        target_cluster_nodes=150,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

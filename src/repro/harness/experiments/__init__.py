@@ -1,0 +1,42 @@
+"""The experiment suite: one registered function per paper table/figure.
+
+The monolithic experiment module is split along the paper's narrative:
+
+* :mod:`~repro.harness.experiments.characterization` — Table I, Figures 2–3
+  (dataset structure, execution-order MAC counts, matrix densities).
+* :mod:`~repro.harness.experiments.motivation` — Figures 5–7 (why GCNAX's
+  2-D tiling struggles: tile occupancy, bandwidth utilisation, latency split).
+* :mod:`~repro.harness.experiments.evaluation` — Figures 17–21 (HDN hit
+  rates, DRAM traffic, speedups, the ablation study).
+* :mod:`~repro.harness.experiments.physical` — Table IV and Figure 22
+  (area and energy).
+* :mod:`~repro.harness.experiments.scaling` — Figures 24–25 (PE scaling,
+  runahead and bandwidth sensitivity).
+* :mod:`~repro.harness.experiments.comparison` — Figure 26 (MatRaptor and
+  GAMMA sparse-sparse baselines).
+
+Importing this package registers every experiment with
+:mod:`repro.harness.registry`.  Every experiment consumes an
+:class:`~repro.harness.config.ExperimentConfig`, builds (cached) workload
+bundles for the configured datasets, runs the relevant simulators and returns
+an :class:`~repro.harness.report.ExperimentResult` whose rows mirror the
+paper's series.  Absolute values differ from the paper (synthetic scaled
+datasets, analytical timing); the orderings and approximate ratios are the
+reproduction target — see EXPERIMENTS.md for the side-by-side record.
+"""
+
+from repro.harness.experiments.common import gcnax_results, geomean, grow_results
+
+# Importing the sub-modules registers their experiments as a side effect.
+from repro.harness.experiments import characterization  # noqa: F401
+from repro.harness.experiments import motivation  # noqa: F401
+from repro.harness.experiments import evaluation  # noqa: F401
+from repro.harness.experiments import physical  # noqa: F401
+from repro.harness.experiments import scaling  # noqa: F401
+from repro.harness.experiments import comparison  # noqa: F401
+
+__all__ = [
+    "gcnax_results",
+    "geomean",
+    "grow_results",
+]

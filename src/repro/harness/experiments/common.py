@@ -1,0 +1,40 @@
+"""Helpers shared by every experiment module: simulator wrappers, geomean."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.gcnax import GCNAXSimulator
+from repro.core.accelerator import GrowSimulator
+from repro.harness.config import ExperimentConfig
+from repro.harness.workloads import WorkloadBundle
+
+
+def grow_results(
+    config: ExperimentConfig,
+    bundle: WorkloadBundle,
+    partitioned: bool = True,
+    **overrides,
+):
+    """Run the GROW simulator on one bundle, optionally without partitioning.
+
+    ``overrides`` are forwarded to :meth:`ExperimentConfig.grow_config`, so
+    ablations can disable individual optimisations (e.g.
+    ``enable_hdn_cache=False``).
+    """
+    simulator = GrowSimulator(config.grow_config(**overrides))
+    plan = bundle.plan if partitioned else bundle.plan_unpartitioned
+    return simulator.run_model(bundle.workloads, plan)
+
+
+def gcnax_results(config: ExperimentConfig, bundle: WorkloadBundle):
+    """Run the GCNAX baseline simulator on one bundle."""
+    return GCNAXSimulator(config.gcnax_config()).run_model(bundle.workloads)
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean of the positive entries (NaN when none remain)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,47 @@
+"""Comparison against the sparse-sparse Gustavson accelerators: Figure 26."""
+
+from __future__ import annotations
+
+from repro.accelerators.gamma import GAMMASimulator
+from repro.accelerators.matraptor import MatRaptorSimulator
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiments.common import gcnax_results, geomean, grow_results
+from repro.harness.registry import register
+from repro.harness.report import ExperimentResult
+from repro.harness.workloads import get_bundle
+
+
+@register("fig26_spsp_comparison")
+def fig26_spsp_comparison(config: ExperimentConfig) -> ExperimentResult:
+    """Speedup of GROW and the sparse-sparse Gustavson baselines over GCNAX."""
+    result = ExperimentResult(
+        name="fig26_spsp_comparison",
+        paper_reference="Figure 26",
+        description="Speedup over GCNAX of MatRaptor, GAMMA and GROW",
+        columns=["dataset", "gcnax", "matraptor", "gamma", "grow"],
+    )
+    grow_vs_matraptor = []
+    grow_vs_gamma = []
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        gcnax = gcnax_results(config, bundle)
+        matraptor = MatRaptorSimulator(config.matraptor_config()).run_model(bundle.workloads)
+        gamma = GAMMASimulator(config.gamma_config()).run_model(bundle.workloads)
+        grow = grow_results(config, bundle, partitioned=True)
+        base = gcnax.total_cycles or 1.0
+        result.add_row(
+            dataset=name,
+            gcnax=1.0,
+            matraptor=base / matraptor.total_cycles,
+            gamma=base / gamma.total_cycles,
+            grow=base / grow.total_cycles,
+        )
+        grow_vs_matraptor.append(matraptor.total_cycles / grow.total_cycles)
+        grow_vs_gamma.append(gamma.total_cycles / grow.total_cycles)
+    result.metadata["geomean_speedup_vs_matraptor"] = geomean(grow_vs_matraptor)
+    result.metadata["geomean_speedup_vs_gamma"] = geomean(grow_vs_gamma)
+    result.notes.append(
+        "GROW geomean speedup vs MatRaptor: "
+        f"{geomean(grow_vs_matraptor):.2f}x, vs GAMMA: {geomean(grow_vs_gamma):.2f}x"
+    )
+    return result

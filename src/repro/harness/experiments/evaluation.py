@@ -1,0 +1,160 @@
+"""Main evaluation against GCNAX: Figures 17 through 21."""
+
+from __future__ import annotations
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiments.common import gcnax_results, geomean, grow_results
+from repro.harness.registry import register
+from repro.harness.report import ExperimentResult
+from repro.harness.workloads import get_bundle
+
+
+@register("fig17_hdn_hit_rate")
+def fig17_hdn_hit_rate(config: ExperimentConfig) -> ExperimentResult:
+    """HDN cache hit rate with and without graph partitioning."""
+    result = ExperimentResult(
+        name="fig17_hdn_hit_rate",
+        paper_reference="Figure 17",
+        description="HDN cache hit rate of GROW with and without graph partitioning",
+        columns=["dataset", "hit_rate_without_gp", "hit_rate_with_gp"],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        with_gp = grow_results(config, bundle, partitioned=True)
+        without_gp = grow_results(config, bundle, partitioned=False)
+        result.add_row(
+            dataset=name,
+            hit_rate_without_gp=without_gp.extra["hdn_hit_rate"],
+            hit_rate_with_gp=with_gp.extra["hdn_hit_rate"],
+        )
+    return result
+
+
+@register("fig18_memory_traffic")
+def fig18_memory_traffic(config: ExperimentConfig) -> ExperimentResult:
+    """Total DRAM bytes read, normalised to GCNAX."""
+    result = ExperimentResult(
+        name="fig18_memory_traffic",
+        paper_reference="Figure 18",
+        description="DRAM read traffic of GROW (w/o and w/ graph partitioning) normalised to GCNAX",
+        columns=["dataset", "gcnax", "grow_without_gp", "grow_with_gp"],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        gcnax = gcnax_results(config, bundle)
+        grow_gp = grow_results(config, bundle, partitioned=True)
+        grow_no = grow_results(config, bundle, partitioned=False)
+        base = gcnax.dram_read_bytes or 1
+        result.add_row(
+            dataset=name,
+            gcnax=1.0,
+            grow_without_gp=grow_no.dram_read_bytes / base,
+            grow_with_gp=grow_gp.dram_read_bytes / base,
+        )
+    return result
+
+
+@register("fig19_traffic_reduction")
+def fig19_traffic_reduction(config: ExperimentConfig) -> ExperimentResult:
+    """DRAM-traffic reduction of HDN caching and graph partitioning."""
+    result = ExperimentResult(
+        name="fig19_traffic_reduction",
+        paper_reference="Figure 19",
+        description=(
+            "DRAM traffic reduction relative to GROW without HDN caching "
+            "(higher is better)"
+        ),
+        columns=["dataset", "without_hdn_caching", "with_hdn_caching", "with_hdn_caching_and_gp"],
+    )
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        no_cache = grow_results(config, bundle, partitioned=False, enable_hdn_cache=False)
+        cache_only = grow_results(config, bundle, partitioned=False)
+        cache_gp = grow_results(config, bundle, partitioned=True)
+        base = no_cache.total_dram_bytes or 1
+        result.add_row(
+            dataset=name,
+            without_hdn_caching=1.0,
+            with_hdn_caching=base / max(1, cache_only.total_dram_bytes),
+            with_hdn_caching_and_gp=base / max(1, cache_gp.total_dram_bytes),
+        )
+    return result
+
+
+@register("fig20_speedup")
+def fig20_speedup(config: ExperimentConfig) -> ExperimentResult:
+    """End-to-end speedup over GCNAX and the per-phase latency breakdown."""
+    result = ExperimentResult(
+        name="fig20_speedup",
+        paper_reference="Figure 20",
+        description=(
+            "Speedup of GROW (w/o and w/ graph partitioning) over GCNAX, plus "
+            "each design's aggregation/combination latency normalised to GCNAX"
+        ),
+        columns=[
+            "dataset",
+            "speedup_without_gp",
+            "speedup_with_gp",
+            "gcnax_aggregation",
+            "gcnax_combination",
+            "grow_aggregation",
+            "grow_combination",
+        ],
+    )
+    speedups = []
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        gcnax = gcnax_results(config, bundle)
+        grow_gp = grow_results(config, bundle, partitioned=True)
+        grow_no = grow_results(config, bundle, partitioned=False)
+        base = gcnax.total_cycles or 1.0
+        speedups.append(grow_gp.speedup_over(gcnax))
+        result.add_row(
+            dataset=name,
+            speedup_without_gp=grow_no.speedup_over(gcnax),
+            speedup_with_gp=grow_gp.speedup_over(gcnax),
+            gcnax_aggregation=gcnax.phase_cycles("aggregation") / base,
+            gcnax_combination=gcnax.phase_cycles("combination") / base,
+            grow_aggregation=grow_gp.phase_cycles("aggregation") / base,
+            grow_combination=grow_gp.phase_cycles("combination") / base,
+        )
+    result.metadata["geomean_speedup_with_gp"] = geomean(speedups)
+    result.notes.append(
+        f"Geometric-mean speedup of GROW (with G.P.) over GCNAX: {geomean(speedups):.2f}x"
+    )
+    return result
+
+
+@register("fig21_ablation")
+def fig21_ablation(config: ExperimentConfig) -> ExperimentResult:
+    """Average speedup as GROW's optimisations are applied one by one."""
+    result = ExperimentResult(
+        name="fig21_ablation",
+        paper_reference="Figure 21",
+        description=(
+            "Geometric-mean speedup over GCNAX when incrementally enabling "
+            "HDN caching, runahead execution and graph partitioning"
+        ),
+        columns=["configuration", "geomean_speedup"],
+    )
+    per_config: dict[str, list[float]] = {
+        "gcnax_baseline": [],
+        "hdn_cache_only": [],
+        "plus_runahead": [],
+        "plus_graph_partitioning": [],
+    }
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        gcnax_cycles = gcnax_results(config, bundle).total_cycles
+        cache_only = grow_results(
+            config, bundle, partitioned=False, enable_runahead=False
+        ).total_cycles
+        runahead = grow_results(config, bundle, partitioned=False).total_cycles
+        full = grow_results(config, bundle, partitioned=True).total_cycles
+        per_config["gcnax_baseline"].append(1.0)
+        per_config["hdn_cache_only"].append(gcnax_cycles / cache_only)
+        per_config["plus_runahead"].append(gcnax_cycles / runahead)
+        per_config["plus_graph_partitioning"].append(gcnax_cycles / full)
+    for configuration, values in per_config.items():
+        result.add_row(configuration=configuration, geomean_speedup=geomean(values))
+    return result

@@ -1,0 +1,96 @@
+"""Physical-design results: area (Table IV) and energy (Figure 22)."""
+
+from __future__ import annotations
+
+from repro.energy.area import GCNAX_AREA_MM2_40NM, grow_area_breakdown
+from repro.energy.energy_model import estimate_energy
+from repro.harness.config import ExperimentConfig
+from repro.harness.experiments.common import gcnax_results, geomean, grow_results
+from repro.harness.registry import register
+from repro.harness.report import ExperimentResult
+from repro.harness.workloads import get_bundle
+
+
+@register("table4_area")
+def table4_area(config: ExperimentConfig) -> ExperimentResult:
+    """GROW area breakdown at 65 nm and scaled to 40 nm, vs GCNAX."""
+    breakdown_65 = grow_area_breakdown(technology_nm=65)
+    breakdown_40 = breakdown_65.scaled_to(40)
+    result = ExperimentResult(
+        name="table4_area",
+        paper_reference="Table IV",
+        description="Component area of GROW (65 nm measured-model, 40 nm scaled) and GCNAX",
+        columns=["component", "area_mm2_65nm", "area_mm2_40nm"],
+        notes=[
+            f"GCNAX total (reported, 40 nm): {GCNAX_AREA_MM2_40NM} mm^2",
+            f"GROW SRAM fraction of area: {breakdown_65.sram_fraction():.2f}",
+        ],
+    )
+    for component, area_65 in breakdown_65.components.items():
+        result.add_row(
+            component=component,
+            area_mm2_65nm=area_65,
+            area_mm2_40nm=breakdown_40.components[component],
+        )
+    result.add_row(
+        component="total",
+        area_mm2_65nm=breakdown_65.total_mm2,
+        area_mm2_40nm=breakdown_40.total_mm2,
+    )
+    return result
+
+
+def _energy_for(accel_result, area_mm2: float) -> dict[str, float]:
+    sram_events = {
+        name: (capacity, accel_result.sram_access_bytes().get(name, 0))
+        for name, capacity in accel_result.sram_capacities.items()
+    }
+    breakdown = estimate_energy(
+        mac_operations=accel_result.total_mac_operations,
+        dram_bytes=accel_result.total_dram_bytes,
+        sram_access_events=sram_events,
+        runtime_cycles=accel_result.total_cycles,
+        area_mm2=area_mm2,
+    )
+    return breakdown.as_dict()
+
+
+@register("fig22_energy")
+def fig22_energy(config: ExperimentConfig) -> ExperimentResult:
+    """Energy breakdown of GCNAX and GROW, normalised to GCNAX."""
+    grow_area = grow_area_breakdown(technology_nm=40).total_mm2
+    result = ExperimentResult(
+        name="fig22_energy",
+        paper_reference="Figure 22",
+        description=(
+            "Energy (MAC, register file, SRAM, DRAM, leakage) of GCNAX and GROW "
+            "(w/o and w/ graph partitioning), normalised to GCNAX's total"
+        ),
+        columns=["dataset", "design", "mac", "register_file", "sram", "dram", "leakage", "total"],
+    )
+    efficiency = []
+    for name in config.datasets:
+        bundle = get_bundle(name, config)
+        gcnax = gcnax_results(config, bundle)
+        grow_gp = grow_results(config, bundle, partitioned=True)
+        grow_no = grow_results(config, bundle, partitioned=False)
+        gcnax_energy = _energy_for(gcnax, GCNAX_AREA_MM2_40NM)
+        base = gcnax_energy["total"] or 1.0
+        for design, accel_result, area in (
+            ("gcnax", gcnax, GCNAX_AREA_MM2_40NM),
+            ("grow_without_gp", grow_no, grow_area),
+            ("grow_with_gp", grow_gp, grow_area),
+        ):
+            energy = _energy_for(accel_result, area)
+            result.add_row(
+                dataset=name,
+                design=design,
+                **{k: v / base for k, v in energy.items()},
+            )
+        grow_energy = _energy_for(grow_gp, grow_area)
+        efficiency.append(base / (grow_energy["total"] or 1.0))
+    result.metadata["geomean_energy_efficiency_gain"] = geomean(efficiency)
+    result.notes.append(
+        f"Geometric-mean energy-efficiency gain of GROW over GCNAX: {geomean(efficiency):.2f}x"
+    )
+    return result

@@ -24,6 +24,11 @@ def register(name: str) -> Callable[[ExperimentFn], ExperimentFn]:
     return decorator
 
 
+def unregister(name: str) -> None:
+    """Remove an experiment from the registry (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
 def list_experiments() -> list[str]:
     """Names of all registered experiments, sorted."""
     return sorted(_REGISTRY)
@@ -34,6 +39,12 @@ def get_experiment(name: str) -> ExperimentFn:
     if name not in _REGISTRY:
         raise KeyError(f"unknown experiment {name!r}; known: {list_experiments()}")
     return _REGISTRY[name]
+
+
+def experiment_summary(name: str) -> str:
+    """One-line summary of an experiment (first line of its docstring)."""
+    doc = get_experiment(name).__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
 
 
 def run_experiment(

@@ -1,9 +1,30 @@
-"""Experiment result container and plain-text table formatting."""
+"""Experiment result container and structured report formatting.
+
+An :class:`ExperimentResult` can render itself three ways:
+
+* :meth:`ExperimentResult.to_table` — fixed-width text, used by the CLI's
+  ``run`` command for terminal output.
+* :meth:`ExperimentResult.to_markdown` — a GitHub-flavoured Markdown section,
+  used for the per-experiment and suite reports under ``benchmarks/results/``.
+* :meth:`ExperimentResult.to_json` / :meth:`ExperimentResult.from_dict` — a
+  lossless machine-readable form, used by the on-disk result cache and the
+  ``report`` command.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
+
+
+def json_default(value: Any) -> Any:
+    """``json.dumps`` fallback for numpy scalars and arrays in result rows."""
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        return value.item()
+    if hasattr(value, "tolist") and callable(value.tolist):  # numpy array
+        return value.tolist()
+    raise TypeError(f"object of type {type(value).__name__} is not JSON serializable")
 
 
 def _format_value(value: Any) -> str:
@@ -30,6 +51,17 @@ def format_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
     header = line(columns)
     separator = "  ".join("-" * width for width in widths)
     body = [line(r) for r in rendered]
+    return "\n".join([header, separator, *body])
+
+
+def format_markdown_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    body = [
+        "| " + " | ".join(_format_value(row.get(col, "")) for col in columns) + " |"
+        for row in rows
+    ]
     return "\n".join([header, separator, *body])
 
 
@@ -86,6 +118,20 @@ class ExperimentResult:
             lines.extend(f"note: {note}" for note in self.notes)
         return "\n".join(lines)
 
+    def to_markdown(self) -> str:
+        """Render the result as a Markdown section (heading, table, notes)."""
+        lines = [
+            f"## {self.name} ({self.paper_reference})",
+            "",
+            self.description + ".",
+            "",
+            format_markdown_table(self.columns, self.rows),
+        ]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"> {note}" for note in self.notes)
+        return "\n".join(lines)
+
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form, convenient for JSON dumps in scripts."""
         return {
@@ -97,3 +143,20 @@ class ExperimentResult:
             "notes": list(self.notes),
             "metadata": dict(self.metadata),
         }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict` (numpy values coerced to native types)."""
+        return json.dumps(self.to_dict(), indent=indent, default=json_default)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from its :meth:`to_dict` / :meth:`to_json` form."""
+        return cls(
+            name=data["name"],
+            paper_reference=data["paper_reference"],
+            description=data["description"],
+            columns=list(data.get("columns", [])),
+            rows=[dict(row) for row in data.get("rows", [])],
+            notes=list(data.get("notes", [])),
+            metadata=dict(data.get("metadata", {})),
+        )

@@ -1,0 +1,123 @@
+"""Tests for the ``python -m repro`` command-line interface.
+
+The smoke-target test runs the CLI as a real subprocess — the same
+invocation a CI job would use — so argument parsing, experiment
+registration, parallel execution and cache reuse are all exercised
+end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.__main__ import main
+from repro.harness import list_experiments
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    printed = capsys.readouterr().out.split()
+    assert printed == list_experiments()
+
+
+def test_list_verbose_includes_summaries(capsys):
+    assert main(["list", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "fig20_speedup" in out
+    assert "speedup" in out.lower()
+
+
+def test_run_prints_table(capsys):
+    code = main(["run", "fig3_density", "--datasets", "cora"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fig3_density" in out and "cora" in out
+
+
+def test_run_unknown_experiment_fails_cleanly():
+    with pytest.raises(SystemExit, match="unknown experiments"):
+        main(["run", "no_such_experiment"])
+    with pytest.raises(SystemExit, match="unknown experiments"):
+        main(["suite", "no_such_experiment"])
+
+
+def test_suite_writes_reports_and_caches(tmp_path, capsys):
+    argv = [
+        "suite",
+        "--smoke",
+        "--jobs",
+        "1",
+        "--results-dir",
+        str(tmp_path),
+        "fig2_mac_ops",
+        "fig3_density",
+    ]
+    assert main(argv) == 0
+    assert "2 experiments" in capsys.readouterr().out
+    assert (tmp_path / "fig2_mac_ops.json").exists()
+    assert (tmp_path / "suite_report.md").exists()
+
+    assert main(argv) == 0
+    summary = json.loads((tmp_path / "suite_report.json").read_text())
+    assert summary["summary"] == {"ran": 0, "cached": 2, "failed": 0}
+
+
+def test_report_renders_stored_results(tmp_path, capsys):
+    assert (
+        main(["suite", "--smoke", "--jobs", "1", "--results-dir", str(tmp_path), "fig3_density"])
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["report", "fig3_density", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("## fig3_density")
+    assert main(["report", "fig3_density", "--results-dir", str(tmp_path), "--format", "table"]) == 0
+    assert "fig3_density  (Figure 3)" in capsys.readouterr().out
+
+
+def test_report_missing_results_fails_cleanly(tmp_path, capsys):
+    assert main(["report", "--results-dir", str(tmp_path / "empty")]) == 1
+    assert "run 'python -m repro suite' first" in capsys.readouterr().err
+
+
+def _cli_env() -> dict[str, str]:
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def test_smoke_target_subprocess(tmp_path):
+    """The CI smoke target: ``python -m repro suite --smoke --jobs 2``."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "suite",
+        "--smoke",
+        "--jobs",
+        "2",
+        "--results-dir",
+        str(tmp_path),
+    ]
+    first = subprocess.run(argv, env=_cli_env(), capture_output=True, text=True, timeout=300)
+    assert first.returncode == 0, first.stdout + first.stderr
+
+    summary = json.loads((tmp_path / "suite_report.json").read_text())
+    assert summary["jobs"] == 2
+    assert summary["summary"]["failed"] == 0
+    assert summary["summary"]["ran"] == len(list_experiments())
+
+    # The second invocation must complete entirely via cache hits.
+    second = subprocess.run(argv, env=_cli_env(), capture_output=True, text=True, timeout=300)
+    assert second.returncode == 0, second.stdout + second.stderr
+    summary = json.loads((tmp_path / "suite_report.json").read_text())
+    assert summary["summary"]["ran"] == 0
+    assert summary["summary"]["cached"] == len(list_experiments())

@@ -7,14 +7,11 @@ normalisations, internal consistency) is validated quickly on every test run.
 
 import pytest
 
-from repro.harness.config import ExperimentConfig
+from repro.harness.config import smoke_config
 from repro.harness.registry import run_experiment
 
-SMALL = ExperimentConfig(
-    datasets=("cora", "amazon"),
-    num_nodes_override={"cora": 250, "amazon": 700},
-    target_cluster_nodes=150,
-)
+# The CI smoke configuration doubles as the reduced-size test configuration.
+SMALL = smoke_config()
 
 
 @pytest.fixture(scope="module")
