@@ -1,0 +1,34 @@
+"""Benchmark for the DSE frontier experiment riding in the suite.
+
+`dse_grow_frontier` searches a small GROW sizing grid (HDN cache capacity x
+runahead degree) and reports the cycles-vs-area Pareto frontier — the
+trade-off behind the paper's Figure 24/25 sensitivity studies and the
+Table III design point.  The assertions are structural: the frontier is
+non-empty, mutually non-dominated, and covers the whole grid's evaluations.
+"""
+
+from repro.dse import dominates
+
+
+def test_dse_frontier_is_nonempty_and_nondominated(suite_report):
+    result = suite_report.result("dse_grow_frontier")
+    assert result.rows, "the frontier must contain at least one design point"
+    vectors = [(row["cycles"], row["area_mm2"]) for row in result.rows]
+    # No frontier point dominates another on (cycles, area).
+    for i, a in enumerate(vectors):
+        for j, b in enumerate(vectors):
+            if i != j:
+                assert not dominates(a, b, ("min", "min"))
+
+
+def test_dse_frontier_searched_the_whole_grid(suite_report):
+    result = suite_report.result("dse_grow_frontier")
+    summary = result.metadata["summary"]
+    evaluations = result.metadata["evaluations"]
+    # 3 HDN cache sizes x 2 runahead degrees, every candidate evaluated once.
+    assert len(evaluations) == 6
+    assert summary["failed"] == 0
+    assert {e["status"] for e in evaluations} <= {"ran", "cached"}
+    # Frontier rows are sorted by the primary objective.
+    cycles = [row["cycles"] for row in result.rows]
+    assert cycles == sorted(cycles)

@@ -12,7 +12,10 @@ Walks the same path as README.md's quickstart, calling the
 2. ``repro run``   — one figure, printed as a table,
 3. ``repro suite`` — a cached, parallel suite run (smoke-sized here, with
    its JSON/Markdown reports written to a temporary directory),
-4. the library API behind those commands, for programmatic use.
+4. ``repro dse``   — a seconds-scale design-space search with a Pareto
+   frontier report (see ``examples/design_space_exploration.py`` for the
+   library API),
+5. the library API behind those commands, for programmatic use.
 
 Run with::
 
@@ -59,7 +62,12 @@ def main() -> None:
         reports = sorted(p.name for p in Path(tmp).iterdir() if p.is_file())
         print(f"\nreports written: {reports}")
 
-    print("\n== 4. The library API behind the CLI ==")
+    with tempfile.TemporaryDirectory() as tmp:
+        print("\n== 4. Design-space search: python -m repro dse --smoke --jobs 2 ==")
+        repro_cli(["dse", "--smoke", "--seed", "7", "--jobs", "2",
+                   "--budget", "6", "--results-dir", tmp])
+
+    print("\n== 5. The library API behind the CLI ==")
     result = run_experiment("fig20_speedup", config=smoke_config())
     row = result.rows[0]
     print(

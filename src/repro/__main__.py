@@ -7,8 +7,10 @@ Commands:
 * ``run <experiment> [...]``     — run experiments and print their tables.
 * ``suite``                      — run many experiments in parallel with
   on-disk result caching and JSON/Markdown reports (the workhorse command).
-* ``report``                     — render previously computed suite results
-  without recomputing anything.
+* ``dse``                        — design-space exploration: search a named
+  parameter space for the Pareto frontier (cycles vs area by default).
+* ``report``                     — render previously computed suite/DSE
+  results without recomputing anything.
 
 Examples::
 
@@ -17,7 +19,10 @@ Examples::
     python -m repro suite --jobs 8                 # full figure suite, parallel
     python -m repro suite --jobs 8                 # second run: all cache hits
     python -m repro suite --smoke --jobs 2         # CI smoke target
+    python -m repro dse --smoke --seed 7 --jobs 2  # seconds-scale frontier search
+    python -m repro dse --space grow-sizing --sampler evolutionary --budget 48
     python -m repro report fig20_speedup
+    python -m repro report dse_grow-smoke
 """
 
 from __future__ import annotations
@@ -75,8 +80,62 @@ def _build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true", help="recompute even when a cached result exists"
     )
 
+    dse_parser = subparsers.add_parser(
+        "dse",
+        help="multi-objective design-space search with Pareto-frontier reports",
+    )
+    dse_parser.add_argument(
+        "--space",
+        default=None,
+        help="registered parameter space (default grow-sizing, or grow-smoke with --smoke; "
+        "see --list-spaces)",
+    )
+    dse_parser.add_argument(
+        "--sampler",
+        choices=("grid", "random", "evolutionary"),
+        default="evolutionary",
+        help="candidate sampler (default evolutionary)",
+    )
+    dse_parser.add_argument(
+        "--budget", type=int, default=32, help="maximum candidate evaluations (default 32)"
+    )
+    dse_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (0 = one per CPU; default 1)"
+    )
+    dse_parser.add_argument(
+        "--seed", type=int, default=0, help="sampler seed; same seed, same candidate stream"
+    )
+    dse_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced-size CI configuration (two shrunken datasets, tiny default space)",
+    )
+    dse_parser.add_argument(
+        "--area-budget",
+        type=float,
+        default=None,
+        metavar="MM2",
+        help="feasibility constraint: 65 nm area must not exceed this many mm^2",
+    )
+    dse_parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        help="report/cache directory shared with the suite (default benchmarks/results)",
+    )
+    dse_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk evaluation cache"
+    )
+    dse_parser.add_argument(
+        "--force", action="store_true", help="recompute even when a cached evaluation exists"
+    )
+    dse_parser.add_argument(
+        "--list-spaces", action="store_true", help="list the registered spaces and exit"
+    )
+    _add_config_arguments(dse_parser)
+
     report_parser = subparsers.add_parser(
-        "report", help="render previously computed suite results"
+        "report", help="render previously computed suite or DSE results"
     )
     report_parser.add_argument(
         "experiments", nargs="*", help="experiment ids (default: everything in the results dir)"
@@ -106,12 +165,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _validate_experiments(names) -> None:
-    from repro.harness import list_experiments
+    from repro.harness.registry import validate_experiment_names
 
-    known = list_experiments()
-    unknown = [name for name in names if name not in set(known)]
-    if unknown:
-        raise SystemExit(f"unknown experiments {unknown}; choose from {known}")
+    import repro.harness  # noqa: F401  (populates the registry)
+
+    validate_experiment_names(names)
 
 
 def _config_from_args(args):
@@ -200,18 +258,92 @@ def _cmd_suite(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_dse(args) -> int:
+    from repro.dse import DSERunner, default_objectives, get_space, list_spaces
+    from repro.dse.engine import DEFAULT_RESULTS_DIR
+
+    if args.list_spaces:
+        for name in list_spaces():
+            space = get_space(name)
+            print(
+                f"{name:24s} {space.accelerator:6s} {space.size:5d} candidates  "
+                f"{space.description}"
+            )
+        return 0
+
+    space_name = args.space or ("grow-smoke" if args.smoke else "grow-sizing")
+    try:
+        space = get_space(space_name)
+    except KeyError:
+        raise SystemExit(
+            f"unknown space {space_name!r}; choose from {list_spaces()} "
+            "(see 'python -m repro dse --list-spaces')"
+        )
+    if args.budget < 1:
+        raise SystemExit("--budget must be at least 1")
+
+    results_dir = args.results_dir if args.results_dir is not None else DEFAULT_RESULTS_DIR
+    runner = DSERunner(
+        space=space,
+        sampler=args.sampler,
+        config=_config_from_args(args),
+        objectives=default_objectives(area_budget_mm2=args.area_budget),
+        budget=args.budget,
+        jobs=args.jobs,
+        seed=args.seed,
+        use_cache=not args.no_cache,
+        force=args.force,
+        results_dir=results_dir,
+    )
+
+    print(
+        f"searching space '{space.name}' ({space.accelerator}, {space.size} grid candidates) "
+        f"with sampler={args.sampler} budget={args.budget} seed={args.seed} "
+        f"jobs={runner.jobs}; reports -> {results_dir}"
+    )
+
+    def progress(generation, outcomes, frontier_size) -> None:
+        ran = sum(1 for e in outcomes if e.status == "ran")
+        cached = sum(1 for e in outcomes if e.status == "cached")
+        failed = sum(1 for e in outcomes if e.status == "failed")
+        infeasible = sum(1 for e in outcomes if e.ok and not e.feasible)
+        print(
+            f"  generation {generation}: {len(outcomes)} candidates "
+            f"({ran} ran, {cached} cached, {failed} failed, {infeasible} infeasible); "
+            f"frontier size {frontier_size}"
+        )
+
+    report = runner.run(progress=progress)
+    print(
+        f"done in {report.total_seconds:.1f}s: {len(report.evaluations)} evaluations "
+        f"({report.num_ran} ran, {report.num_cached} cached, {report.num_failed} failed), "
+        f"{len(report.frontier)} Pareto point(s)"
+    )
+    for evaluation in report.evaluations:
+        if evaluation.error:
+            print(f"\ncandidate {evaluation.candidate} failed:\n{evaluation.error}", file=sys.stderr)
+    print()
+    print(report.frontier_result().to_table())
+    # Mirror 'suite': any failed evaluation is a nonzero exit, so the CI
+    # smoke target cannot stay green while part of the space errors out.
+    return 0 if report.ok else 1
+
+
 def _cmd_report(args) -> int:
     from repro.harness import ExperimentResult
     from repro.harness.suite import DEFAULT_RESULTS_DIR
 
     results_dir = args.results_dir if args.results_dir is not None else DEFAULT_RESULTS_DIR
+    hint = "run 'python -m repro suite' (or 'python -m repro dse') first"
+    if not results_dir.is_dir():
+        print(f"results directory {results_dir} does not exist; {hint}", file=sys.stderr)
+        return 1
     if args.experiments:
         paths = [results_dir / f"{name}.json" for name in args.experiments]
         missing = [p for p in paths if not p.exists()]
         if missing:
             print(
-                f"no stored results for {[p.stem for p in missing]} in {results_dir}; "
-                "run 'python -m repro suite' first",
+                f"no stored results for {[p.stem for p in missing]} in {results_dir}; {hint}",
                 file=sys.stderr,
             )
             return 1
@@ -220,13 +352,18 @@ def _cmd_report(args) -> int:
             p for p in results_dir.glob("*.json") if p.name != "suite_report.json"
         )
         if not paths:
+            print(f"no stored results in {results_dir}; {hint}", file=sys.stderr)
+            return 1
+    for path in paths:
+        try:
+            result = ExperimentResult.from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
             print(
-                f"no stored results in {results_dir}; run 'python -m repro suite' first",
+                f"stored result {path} is unreadable ({error}); "
+                "delete it and re-run 'python -m repro suite' or 'python -m repro dse'",
                 file=sys.stderr,
             )
             return 1
-    for path in paths:
-        result = ExperimentResult.from_dict(json.loads(path.read_text()))
         print(result.to_markdown() if args.format == "markdown" else result.to_table())
         print()
     return 0
@@ -242,6 +379,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "suite":
         return _cmd_suite(args)
+    if args.command == "dse":
+        return _cmd_dse(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,313 @@
+"""Candidate evaluation: metrics, objectives and constraint filtering.
+
+This module is the bridge between a design-space candidate (a plain dict of
+parameter values, see :mod:`repro.dse.space`) and the simulators.  It
+
+* binds candidate keys onto configurations — keys naming
+  :class:`~repro.harness.config.ExperimentConfig` fields (``num_macs``,
+  ``bandwidth_gbps``, ...) are applied there, every other key is passed as a
+  simulator-config override (``GrowConfig`` / ``GCNAXConfig`` field);
+* computes one metric dict per candidate — ``cycles``, ``dram_bytes``,
+  ``energy_nj`` (via :mod:`repro.energy`) and ``area_mm2`` — summed over the
+  experiment configuration's datasets;
+* applies an :class:`ObjectiveSet`: which metrics to optimise in which
+  direction, plus constraints (e.g. ``area_mm2 <= budget``) that mark
+  candidates infeasible without discarding their cached metrics.
+
+It also hosts the single-point sweep evaluators (``grow_cycles``,
+``gcnax_cycles``, the bandwidth/runahead sweeps) that the paper's Figure
+24/25 sensitivity experiments consume via :mod:`repro.harness.sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
+
+from repro.accelerators.gcnax import GCNAXSimulator
+from repro.core.accelerator import GrowSimulator
+from repro.core.preprocess import PreprocessPlan
+from repro.energy.area import GCNAX_AREA_MM2_40NM, grow_area_breakdown, scale_area
+from repro.energy.energy_model import estimate_energy
+from repro.harness.config import ExperimentConfig
+from repro.harness.workloads import WorkloadBundle, get_bundle
+
+#: Metric names every evaluation produces, in report-column order.
+METRIC_NAMES = ("cycles", "dram_bytes", "energy_nj", "area_mm2")
+
+
+# -- sweep evaluators (the Figure 24/25 building blocks) -------------------
+
+
+def grow_cycles(
+    config: ExperimentConfig,
+    bundle: WorkloadBundle,
+    plan: PreprocessPlan | None = None,
+    **grow_overrides,
+) -> float:
+    """Total GROW cycles for one bundle under config overrides."""
+    simulator = GrowSimulator(config.grow_config(**grow_overrides))
+    result = simulator.run_model(bundle.workloads, plan if plan is not None else bundle.plan)
+    return result.total_cycles
+
+
+def gcnax_cycles(config: ExperimentConfig, bundle: WorkloadBundle, **gcnax_overrides) -> float:
+    """Total GCNAX cycles for one bundle under config overrides."""
+    simulator = GCNAXSimulator(config.gcnax_config(**gcnax_overrides))
+    return simulator.run_model(bundle.workloads).total_cycles
+
+
+def bandwidth_sweep_cycles(
+    config: ExperimentConfig,
+    bundle: WorkloadBundle,
+    bandwidth_factors: tuple[float, ...],
+    accelerator: str,
+) -> dict[float, float]:
+    """Total cycles of one accelerator across relative bandwidth factors.
+
+    Factors are relative to the configuration's nominal bandwidth, matching
+    the presentation of the paper's Figure 25(b) (each design normalised to
+    its own mid-sweep point).
+    """
+    cycles: dict[float, float] = {}
+    for factor in bandwidth_factors:
+        swept = config.with_bandwidth(config.bandwidth_gbps * factor)
+        if accelerator == "grow":
+            cycles[factor] = grow_cycles(swept, bundle)
+        elif accelerator == "gcnax":
+            cycles[factor] = gcnax_cycles(swept, bundle)
+        else:
+            raise ValueError(f"unknown accelerator {accelerator!r}")
+    return cycles
+
+
+def runahead_sweep_cycles(
+    config: ExperimentConfig,
+    bundle: WorkloadBundle,
+    degrees: tuple[int, ...],
+) -> dict[int, float]:
+    """Total GROW cycles across runahead degrees (Figure 25(a))."""
+    return {
+        degree: grow_cycles(
+            config, bundle, runahead_degree=degree, ldn_table_entries=max(16, degree)
+        )
+        for degree in degrees
+    }
+
+
+# -- objectives and constraints --------------------------------------------
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation axis: a metric name and a direction."""
+
+    metric: str
+    direction: str = "min"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("min", "max"):
+            raise ValueError(f"objective {self.metric!r}: direction must be 'min' or 'max'")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A feasibility bound on one metric (e.g. ``area_mm2 <= 6.0``)."""
+
+    metric: str
+    bound: float
+    op: str = "<="
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<=", ">="):
+            raise ValueError(f"constraint on {self.metric!r}: op must be '<=' or '>='")
+
+    def satisfied(self, metrics: dict[str, float]) -> bool:
+        value = metrics[self.metric]
+        return value <= self.bound if self.op == "<=" else value >= self.bound
+
+    def __str__(self) -> str:
+        return f"{self.metric} {self.op} {self.bound:g}"
+
+
+@dataclass(frozen=True)
+class ObjectiveSet:
+    """The objectives being traded off plus the constraints filtering candidates."""
+
+    objectives: tuple[Objective, ...]
+    constraints: tuple[Constraint, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ValueError("an ObjectiveSet needs at least one objective")
+        names = [objective.metric for objective in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective metrics in {names}")
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        return tuple(objective.metric for objective in self.objectives)
+
+    @property
+    def directions(self) -> tuple[str, ...]:
+        return tuple(objective.direction for objective in self.objectives)
+
+    def vector(self, metrics: dict[str, float]) -> tuple[float, ...]:
+        """The candidate's position in objective space."""
+        return tuple(float(metrics[objective.metric]) for objective in self.objectives)
+
+    def violations(self, metrics: dict[str, float]) -> tuple[str, ...]:
+        """Human-readable descriptions of every violated constraint."""
+        return tuple(
+            str(constraint)
+            for constraint in self.constraints
+            if not constraint.satisfied(metrics)
+        )
+
+    def fingerprint(self) -> dict[str, Any]:
+        """JSON-safe description (part of report metadata)."""
+        return {
+            "objectives": [[o.metric, o.direction] for o in self.objectives],
+            "constraints": [[c.metric, c.op, c.bound] for c in self.constraints],
+        }
+
+
+def default_objectives(area_budget_mm2: float | None = None) -> ObjectiveSet:
+    """The standard trade-off: minimise cycles against area (65 nm mm^2)."""
+    constraints = ()
+    if area_budget_mm2 is not None:
+        constraints = (Constraint("area_mm2", area_budget_mm2, "<="),)
+    return ObjectiveSet(
+        objectives=(Objective("cycles"), Objective("area_mm2")),
+        constraints=constraints,
+    )
+
+
+# -- candidate binding and metric evaluation --------------------------------
+
+#: Candidate keys applied at the ExperimentConfig level rather than passed as
+#: simulator-config overrides.  ``datasets``/``num_nodes_override`` stay
+#: owned by the experiment configuration: a search varies the design, not
+#: the workload.
+_EXPERIMENT_LEVEL_KEYS = frozenset(
+    f.name for f in fields(ExperimentConfig) if f.name not in ("datasets", "num_nodes_override")
+)
+
+
+def bind_candidate(
+    config: ExperimentConfig, candidate: dict
+) -> tuple[ExperimentConfig, dict]:
+    """Split a candidate into an updated config and simulator overrides."""
+    experiment_level = {k: v for k, v in candidate.items() if k in _EXPERIMENT_LEVEL_KEYS}
+    overrides = {k: v for k, v in candidate.items() if k not in _EXPERIMENT_LEVEL_KEYS}
+    bound = replace(config, **experiment_level) if experiment_level else config
+    return bound, overrides
+
+
+def _accumulate(results) -> tuple[float, int, int, dict[str, tuple[int, int]]]:
+    """Sum cycles / traffic / MACs / SRAM events over per-dataset results."""
+    cycles = 0.0
+    dram_bytes = 0
+    mac_operations = 0
+    sram_events: dict[str, tuple[int, int]] = {}
+    for result in results:
+        cycles += result.total_cycles
+        dram_bytes += result.total_dram_bytes
+        mac_operations += result.total_mac_operations
+        accesses = result.sram_access_bytes()
+        for name, capacity in result.sram_capacities.items():
+            previous = sram_events.get(name, (capacity, 0))
+            sram_events[name] = (max(previous[0], capacity), previous[1] + accesses.get(name, 0))
+    return cycles, dram_bytes, mac_operations, sram_events
+
+
+def candidate_metrics(
+    accelerator: str, candidate: dict, config: ExperimentConfig
+) -> dict[str, float]:
+    """Evaluate one candidate: cycles, DRAM traffic, energy and area.
+
+    Cycles, traffic and energy are summed over ``config.datasets`` (every
+    dataset runs on the same candidate design); area is a property of the
+    design alone.  Raises on candidates the simulators reject (e.g. a
+    runahead degree below 1) — the engine records those as failed
+    evaluations.
+    """
+    bound, overrides = bind_candidate(config, candidate)
+    if accelerator == "grow":
+        # Provision the LDN table to the searched runahead degree (the
+        # paper's Figure 25(a) convention, same as runahead_sweep_cycles):
+        # ldn_table_entries only acts through min(degree, entries), so left
+        # at its default it would silently clamp degrees above 16 and make
+        # distinct candidates alias the same effective design.
+        if "runahead_degree" in overrides and "ldn_table_entries" not in overrides:
+            overrides["ldn_table_entries"] = max(16, overrides["runahead_degree"])
+        grow_config = bound.grow_config(**overrides)
+        simulator = GrowSimulator(grow_config)
+        results = [
+            simulator.run_model(bundle.workloads, bundle.plan)
+            for bundle in (get_bundle(name, bound) for name in bound.datasets)
+        ]
+        area_mm2 = grow_area_breakdown(
+            num_macs=grow_config.arch.num_macs,
+            sparse_buffer_bytes=grow_config.sparse_buffer_bytes,
+            hdn_id_bytes=grow_config.hdn_id_list_bytes,
+            hdn_cache_bytes=grow_config.hdn_cache_bytes,
+            output_buffer_bytes=grow_config.output_buffer_bytes,
+        ).total_mm2
+    elif accelerator == "gcnax":
+        simulator = GCNAXSimulator(bound.gcnax_config(**overrides))
+        results = [
+            simulator.run_model(get_bundle(name, bound).workloads) for name in bound.datasets
+        ]
+        # GCNAX's area is the published total (Table IV), scaled to 65 nm so
+        # cross-accelerator frontiers compare like against like.
+        area_mm2 = scale_area(GCNAX_AREA_MM2_40NM, from_nm=40, to_nm=65)
+    else:
+        raise ValueError(f"unknown accelerator {accelerator!r}")
+
+    cycles, dram_bytes, mac_operations, sram_events = _accumulate(results)
+    energy = estimate_energy(
+        mac_operations=mac_operations,
+        dram_bytes=dram_bytes,
+        sram_access_events=sram_events,
+        runtime_cycles=cycles,
+        area_mm2=area_mm2,
+    )
+    return {
+        "cycles": float(cycles),
+        "dram_bytes": float(dram_bytes),
+        "energy_nj": float(energy.total_nj),
+        "area_mm2": float(area_mm2),
+    }
+
+
+# -- evaluation record ------------------------------------------------------
+
+
+@dataclass
+class Evaluation:
+    """One evaluated candidate of a search.
+
+    Attributes:
+        candidate: the parameter-value dict.
+        metrics: metric name to value (empty when the evaluation failed).
+        feasible: every constraint satisfied (False for failed evaluations).
+        violations: descriptions of the violated constraints.
+        status: ``"ran"``, ``"cached"`` or ``"failed"``.
+        error: formatted traceback when the evaluation failed.
+        generation: 1-based generation the candidate was proposed in.
+        seconds: wall-clock evaluation time (0.0 for cache hits).
+    """
+
+    candidate: dict
+    metrics: dict[str, float] = field(default_factory=dict)
+    feasible: bool = False
+    violations: tuple[str, ...] = ()
+    status: str = "ran"
+    error: str | None = None
+    generation: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ran", "cached")

@@ -1,0 +1,133 @@
+"""Built-in named spaces and the suite-registered frontier experiment.
+
+The named spaces turn the paper's sensitivity studies into small,
+declarative search problems: Figure 25(a)'s runahead sweep and Figure
+25(b)'s bandwidth sweep are grid spaces here, and ``grow-sizing`` spans the
+sizing axes behind Table III/IV.  ``grow-smoke`` is the seconds-scale CI
+space used by ``python -m repro dse --smoke``.
+
+Importing this module also registers ``dse_grow_frontier`` with the
+experiment registry (:mod:`repro.harness.registry`), which makes the DSE
+engine a first-class member of the suite: the frontier shows up in
+``python -m repro list``, runs under ``suite`` with caching, and renders
+through ``report`` like any figure experiment.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.base import KB
+from repro.dse.engine import DSERunner
+from repro.dse.samplers import GridSampler
+from repro.dse.space import (
+    Categorical,
+    Conditional,
+    NumericRange,
+    ParameterSpace,
+    register_space,
+)
+from repro.harness.config import ExperimentConfig
+from repro.harness.registry import register
+from repro.harness.report import ExperimentResult
+
+GROW_SIZING = register_space(
+    ParameterSpace(
+        name="grow-sizing",
+        description="GROW sizing axes behind Table III/IV: MACs, HDN cache, runahead",
+        accelerator="grow",
+        params=(
+            Categorical("num_macs", (8, 16, 32)),
+            NumericRange(
+                "hdn_cache_bytes", 64 * KB, 1024 * KB, num_points=5, log=True, integer=True
+            ),
+            Categorical("enable_runahead", (True, False)),
+            # The LDN table is provisioned to the degree at evaluation time
+            # (see candidate_metrics), so every degree here is effective.
+            Conditional(
+                Categorical("runahead_degree", (2, 4, 8, 16, 32)),
+                depends_on="enable_runahead",
+                equals=True,
+            ),
+        ),
+    )
+)
+
+GROW_SMOKE = register_space(
+    ParameterSpace(
+        name="grow-smoke",
+        description="tiny CI space (9 candidates): HDN cache size x runahead degree",
+        accelerator="grow",
+        params=(
+            Categorical("hdn_cache_bytes", (64 * KB, 128 * KB, 512 * KB)),
+            Categorical("runahead_degree", (1, 4, 16)),
+        ),
+    )
+)
+
+GROW_FRONTIER = register_space(
+    ParameterSpace(
+        name="grow-frontier",
+        description="6-candidate grid behind the dse_grow_frontier suite experiment",
+        accelerator="grow",
+        params=(
+            Categorical("hdn_cache_bytes", (64 * KB, 256 * KB, 512 * KB)),
+            Categorical("runahead_degree", (1, 16)),
+        ),
+    )
+)
+
+FIG25A_RUNAHEAD = register_space(
+    ParameterSpace(
+        name="fig25a-runahead",
+        description="Figure 25(a) as a space: runahead degree 1-32 (LDN table sized to match)",
+        accelerator="grow",
+        params=(Categorical("runahead_degree", (1, 2, 4, 8, 16, 32)),),
+    )
+)
+
+FIG25B_BANDWIDTH = register_space(
+    ParameterSpace(
+        name="fig25b-bandwidth",
+        description="Figure 25(b) as a space: GROW across 4-64 GB/s off-chip bandwidth",
+        accelerator="grow",
+        params=(NumericRange("bandwidth_gbps", 4.0, 64.0, num_points=5, log=True),),
+    )
+)
+
+FIG25B_BANDWIDTH_GCNAX = register_space(
+    ParameterSpace(
+        name="fig25b-bandwidth-gcnax",
+        description="Figure 25(b) companion: GCNAX across the same bandwidth range",
+        accelerator="gcnax",
+        params=(NumericRange("bandwidth_gbps", 4.0, 64.0, num_points=5, log=True),),
+    )
+)
+
+GCNAX_TILES = register_space(
+    ParameterSpace(
+        name="gcnax-tiles",
+        description="GCNAX tile-shape grid (Figures 5-7 territory)",
+        accelerator="gcnax",
+        params=(
+            Categorical("tile_rows", (16, 32, 64)),
+            Categorical("tile_cols", (16, 32, 64)),
+        ),
+    )
+)
+
+
+@register("dse_grow_frontier")
+def dse_grow_frontier(config: ExperimentConfig) -> ExperimentResult:
+    """Pareto frontier (cycles vs area) of a small GROW sizing grid."""
+    # Two datasets keep the experiment's cost in line with the figure
+    # experiments; the frontier's shape, not its absolute scale, is the point.
+    restricted = config.with_datasets(config.datasets[:2])
+    runner = DSERunner(
+        space=GROW_FRONTIER,
+        sampler=GridSampler(batch_size=GROW_FRONTIER.size),
+        config=restricted,
+        budget=GROW_FRONTIER.size,
+        jobs=1,
+        use_cache=False,  # the suite's own ResultCache covers this experiment
+        results_dir=None,
+    )
+    return runner.run().frontier_result(name="dse_grow_frontier")

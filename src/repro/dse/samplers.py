@@ -1,0 +1,202 @@
+"""Candidate samplers: grid, seeded random and evolutionary search.
+
+Every sampler implements the same two-call protocol (:class:`Sampler`):
+
+* ``reset(space, objectives, seed)`` — bind to a space and re-seed; after a
+  reset the sampler's candidate stream is a pure function of
+  ``(space, objectives, seed, history)``, which is what makes searches
+  reproducible and lets the engine guarantee parallel == serial results.
+* ``ask(history)`` — propose the next generation of *unseen* candidates
+  given every evaluation so far (in evaluation order).  An empty list means
+  the sampler is exhausted and the search stops.
+
+Samplers never evaluate anything and never see the cache; deduplication
+against their own earlier proposals is their only state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Protocol, Sequence
+
+from repro.dse.objectives import Evaluation, ObjectiveSet
+from repro.dse.pareto import non_dominated_sort
+from repro.dse.space import ParameterSpace, candidate_key
+
+
+class Sampler(Protocol):
+    """The protocol every candidate sampler implements."""
+
+    name: str
+
+    def reset(self, space: ParameterSpace, objectives: ObjectiveSet, seed: int) -> None:
+        """Bind to a space/objective set and make the stream deterministic."""
+        ...
+
+    def ask(self, history: Sequence[Evaluation]) -> list[dict]:
+        """Propose the next batch of unseen candidates ([] = exhausted)."""
+        ...
+
+
+class GridSampler:
+    """Deterministic exhaustive enumeration, batched into generations."""
+
+    name = "grid"
+
+    def __init__(self, batch_size: int = 8):
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.batch_size = batch_size
+        self._iterator: Iterator[dict] | None = None
+
+    def reset(self, space: ParameterSpace, objectives: ObjectiveSet, seed: int) -> None:
+        self._iterator = space.enumerate()
+
+    def ask(self, history: Sequence[Evaluation]) -> list[dict]:
+        if self._iterator is None:
+            raise RuntimeError("sampler used before reset()")
+        batch = []
+        for candidate in self._iterator:
+            batch.append(candidate)
+            if len(batch) == self.batch_size:
+                break
+        return batch
+
+
+class RandomSampler:
+    """Seeded uniform random sampling without repetition."""
+
+    name = "random"
+
+    #: Resampling attempts per requested candidate before the sampler
+    #: declares the space (effectively) exhausted.
+    MAX_ATTEMPTS_PER_CANDIDATE = 64
+
+    def __init__(self, batch_size: int = 8):
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        self.batch_size = batch_size
+        self._rng: random.Random | None = None
+        self._space: ParameterSpace | None = None
+        self._seen: set[str] = set()
+
+    def reset(self, space: ParameterSpace, objectives: ObjectiveSet, seed: int) -> None:
+        self._space = space
+        self._rng = random.Random(seed)
+        self._seen = set()
+
+    def _propose_unseen(self, batch: list[dict], count: int) -> list[dict]:
+        """Fill ``batch`` with up to ``count`` fresh candidates, dedup by key."""
+        attempts = count * self.MAX_ATTEMPTS_PER_CANDIDATE
+        while len(batch) < count and attempts > 0:
+            attempts -= 1
+            candidate = self._space.random_candidate(self._rng)
+            key = candidate_key(candidate)
+            if key not in self._seen:
+                self._seen.add(key)
+                batch.append(candidate)
+        return batch
+
+    def ask(self, history: Sequence[Evaluation]) -> list[dict]:
+        if self._rng is None:
+            raise RuntimeError("sampler used before reset()")
+        return self._propose_unseen([], self.batch_size)
+
+
+class EvolutionarySampler(RandomSampler):
+    """Elitist evolutionary search: Pareto-ranked parents, crossover + mutation.
+
+    Generation 1 is seeded random.  Every later generation selects parents
+    elitistically — successful evaluations sorted by non-dominated front
+    (feasible candidates preferred, evaluation order breaking ties) — then
+    produces children by uniform crossover followed by per-parameter
+    mutation; duplicates of anything already proposed are discarded, and any
+    shortfall is topped up with fresh random candidates so the search keeps
+    exploring.
+
+    Args:
+        batch_size: population per generation.
+        elite_fraction: fraction of the evaluated history kept as parents
+            (at least two candidates).
+        mutation_rate: per-parameter resampling probability applied to
+            every child.
+        crossover_prob: probability a child comes from two parents rather
+            than a mutated copy of one.
+    """
+
+    name = "evolutionary"
+
+    def __init__(
+        self,
+        batch_size: int = 8,
+        elite_fraction: float = 0.25,
+        mutation_rate: float = 0.3,
+        crossover_prob: float = 0.6,
+    ):
+        super().__init__(batch_size=batch_size)
+        if not 0.0 < elite_fraction <= 1.0:
+            raise ValueError("elite_fraction must be in (0, 1]")
+        self.elite_fraction = elite_fraction
+        self.mutation_rate = mutation_rate
+        self.crossover_prob = crossover_prob
+        self._objectives: ObjectiveSet | None = None
+
+    def reset(self, space: ParameterSpace, objectives: ObjectiveSet, seed: int) -> None:
+        super().reset(space, objectives, seed)
+        self._objectives = objectives
+
+    def _elites(self, history: Sequence[Evaluation]) -> list[dict]:
+        """Parent candidates, best Pareto fronts first."""
+        pool = [e for e in history if e.ok and e.feasible]
+        if not pool:  # nothing feasible yet: rank every successful evaluation
+            pool = [e for e in history if e.ok]
+        if not pool:
+            return []
+        vectors = [self._objectives.vector(e.metrics) for e in pool]
+        ranked = [
+            pool[index]
+            for front in non_dominated_sort(vectors, self._objectives.directions)
+            for index in front
+        ]
+        count = max(2, round(self.elite_fraction * len(ranked)))
+        return [e.candidate for e in ranked[:count]]
+
+    def ask(self, history: Sequence[Evaluation]) -> list[dict]:
+        if self._rng is None:
+            raise RuntimeError("sampler used before reset()")
+        parents = self._elites(history)
+        if not parents:
+            return self._propose_unseen([], self.batch_size)
+
+        batch: list[dict] = []
+        attempts = self.batch_size * self.MAX_ATTEMPTS_PER_CANDIDATE
+        while len(batch) < self.batch_size and attempts > 0:
+            attempts -= 1
+            parent_a = parents[self._rng.randrange(len(parents))]
+            if len(parents) > 1 and self._rng.random() < self.crossover_prob:
+                parent_b = parents[self._rng.randrange(len(parents))]
+                child = self._space.crossover(parent_a, parent_b, self._rng)
+            else:
+                child = dict(parent_a)
+            child = self._space.mutate(child, self._rng, rate=self.mutation_rate)
+            key = candidate_key(child)
+            if key not in self._seen:
+                self._seen.add(key)
+                batch.append(child)
+        # Top up with exploration when breeding stopped producing novelty.
+        return self._propose_unseen(batch, self.batch_size)
+
+
+#: Sampler factories keyed by CLI name (``repro dse --sampler``).
+SAMPLERS = {
+    "grid": GridSampler,
+    "random": RandomSampler,
+    "evolutionary": EvolutionarySampler,
+}
+
+
+def make_sampler(name: str, **kwargs) -> Sampler:
+    """Instantiate a sampler by registry name."""
+    if name not in SAMPLERS:
+        raise KeyError(f"unknown sampler {name!r}; known: {sorted(SAMPLERS)}")
+    return SAMPLERS[name](**kwargs)

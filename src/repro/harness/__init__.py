@@ -49,6 +49,7 @@ from repro.harness.suite import SuiteOutcome, SuiteReport, SuiteRunner, run_suit
 from repro.harness import experiments as _experiments  # noqa: F401  (registers experiments)
 from repro.harness import discussion as _discussion  # noqa: F401  (registers Section VIII studies)
 from repro.harness.workloads import WorkloadBundle, clear_caches, get_bundle
+from repro import dse as _dse  # noqa: F401  (registers DSE spaces + the frontier experiment)
 
 __all__ = [
     "ExperimentConfig",

@@ -41,6 +41,19 @@ def get_experiment(name: str) -> ExperimentFn:
     return _REGISTRY[name]
 
 
+def validate_experiment_names(names) -> None:
+    """Raise ``SystemExit`` (CLI-friendly) when any name is unregistered.
+
+    Used by the ``run``/``suite`` CLI verbs; the registry covers both the
+    figure experiments and the DSE frontier experiments registered by
+    :mod:`repro.dse.presets`.
+    """
+    known = list_experiments()
+    unknown = [name for name in names if name not in set(known)]
+    if unknown:
+        raise SystemExit(f"unknown experiments {unknown}; choose from {known}")
+
+
 def experiment_summary(name: str) -> str:
     """One-line summary of an experiment (first line of its docstring)."""
     doc = get_experiment(name).__doc__ or ""

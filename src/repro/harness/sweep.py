@@ -1,12 +1,28 @@
-"""Parameter-sweep helpers shared by the sensitivity experiments."""
+"""Parameter-sweep helpers shared by the sensitivity experiments.
+
+The evaluators themselves live in :mod:`repro.dse.objectives` — the
+design-space exploration subsystem owns single-point candidate evaluation —
+and this module re-exports them so the historical import paths
+(``from repro.harness.sweep import grow_cycles``) keep working for the
+Figure 24/25 experiments and any external callers.
+
+The delegation imports at call time: ``repro.dse`` imports harness
+submodules for configs and workloads, so a module-level import here would
+create a cycle whenever ``repro.dse`` is imported first.
+"""
 
 from __future__ import annotations
 
-from repro.accelerators.gcnax import GCNAXSimulator
-from repro.core.accelerator import GrowSimulator
 from repro.core.preprocess import PreprocessPlan
 from repro.harness.config import ExperimentConfig
 from repro.harness.workloads import WorkloadBundle
+
+__all__ = [
+    "grow_cycles",
+    "gcnax_cycles",
+    "bandwidth_sweep_cycles",
+    "runahead_sweep_cycles",
+]
 
 
 def grow_cycles(
@@ -16,15 +32,16 @@ def grow_cycles(
     **grow_overrides,
 ) -> float:
     """Total GROW cycles for one bundle under config overrides."""
-    simulator = GrowSimulator(config.grow_config(**grow_overrides))
-    result = simulator.run_model(bundle.workloads, plan if plan is not None else bundle.plan)
-    return result.total_cycles
+    from repro.dse.objectives import grow_cycles as evaluate
+
+    return evaluate(config, bundle, plan, **grow_overrides)
 
 
 def gcnax_cycles(config: ExperimentConfig, bundle: WorkloadBundle, **gcnax_overrides) -> float:
     """Total GCNAX cycles for one bundle under config overrides."""
-    simulator = GCNAXSimulator(config.gcnax_config(**gcnax_overrides))
-    return simulator.run_model(bundle.workloads).total_cycles
+    from repro.dse.objectives import gcnax_cycles as evaluate
+
+    return evaluate(config, bundle, **gcnax_overrides)
 
 
 def bandwidth_sweep_cycles(
@@ -39,16 +56,9 @@ def bandwidth_sweep_cycles(
     the presentation of the paper's Figure 25(b) (each design normalised to
     its own mid-sweep point).
     """
-    cycles: dict[float, float] = {}
-    for factor in bandwidth_factors:
-        swept = config.with_bandwidth(config.bandwidth_gbps * factor)
-        if accelerator == "grow":
-            cycles[factor] = grow_cycles(swept, bundle)
-        elif accelerator == "gcnax":
-            cycles[factor] = gcnax_cycles(swept, bundle)
-        else:
-            raise ValueError(f"unknown accelerator {accelerator!r}")
-    return cycles
+    from repro.dse.objectives import bandwidth_sweep_cycles as evaluate
+
+    return evaluate(config, bundle, bandwidth_factors, accelerator)
 
 
 def runahead_sweep_cycles(
@@ -57,9 +67,6 @@ def runahead_sweep_cycles(
     degrees: tuple[int, ...],
 ) -> dict[int, float]:
     """Total GROW cycles across runahead degrees (Figure 25(a))."""
-    return {
-        degree: grow_cycles(
-            config, bundle, runahead_degree=degree, ldn_table_entries=max(16, degree)
-        )
-        for degree in degrees
-    }
+    from repro.dse.objectives import runahead_sweep_cycles as evaluate
+
+    return evaluate(config, bundle, degrees)

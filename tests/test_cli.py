@@ -83,8 +83,22 @@ def test_report_renders_stored_results(tmp_path, capsys):
 
 
 def test_report_missing_results_fails_cleanly(tmp_path, capsys):
-    assert main(["report", "--results-dir", str(tmp_path / "empty")]) == 1
-    assert "run 'python -m repro suite' first" in capsys.readouterr().err
+    missing = tmp_path / "empty"
+    assert main(["report", "--results-dir", str(missing)]) == 1
+    err = capsys.readouterr().err
+    assert f"results directory {missing} does not exist" in err
+    assert "python -m repro suite" in err
+
+    missing.mkdir()
+    assert main(["report", "--results-dir", str(missing)]) == 1
+    err = capsys.readouterr().err
+    assert f"no stored results in {missing}" in err
+
+
+def test_report_corrupt_result_fails_cleanly(tmp_path, capsys):
+    (tmp_path / "broken.json").write_text("{not json")
+    assert main(["report", "--results-dir", str(tmp_path)]) == 1
+    assert "is unreadable" in capsys.readouterr().err
 
 
 def _cli_env() -> dict[str, str]:
@@ -121,3 +135,67 @@ def test_smoke_target_subprocess(tmp_path):
     summary = json.loads((tmp_path / "suite_report.json").read_text())
     assert summary["summary"]["ran"] == 0
     assert summary["summary"]["cached"] == len(list_experiments())
+
+
+def test_dse_list_spaces(capsys):
+    assert main(["dse", "--list-spaces"]) == 0
+    out = capsys.readouterr().out
+    assert "grow-sizing" in out and "grow-smoke" in out
+
+
+def test_dse_unknown_space_fails_cleanly():
+    with pytest.raises(SystemExit, match="unknown space"):
+        main(["dse", "--space", "no_such_space"])
+
+
+def test_dse_smoke_writes_frontier_and_caches(tmp_path, capsys):
+    argv = [
+        "dse",
+        "--smoke",
+        "--seed",
+        "7",
+        "--jobs",
+        "1",
+        "--budget",
+        "6",
+        "--results-dir",
+        str(tmp_path),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "Pareto point" in out
+    frontier_path = tmp_path / "dse_grow-smoke.json"
+    assert frontier_path.exists() and (tmp_path / "dse_grow-smoke.md").exists()
+    first_rows = json.loads(frontier_path.read_text())["rows"]
+    assert first_rows
+
+    # Same seed again: every evaluation is a cache hit, the frontier identical.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "6 cached" in out and "0 ran" in out
+    assert json.loads(frontier_path.read_text())["rows"] == first_rows
+
+    # And ``report`` re-renders the stored frontier without recomputing.
+    assert main(["report", "dse_grow-smoke", "--results-dir", str(tmp_path)]) == 0
+    assert capsys.readouterr().out.startswith("## dse_grow-smoke")
+
+
+def test_dse_smoke_target_subprocess(tmp_path):
+    """The CI smoke target: ``python -m repro dse --smoke --jobs 2``."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "dse",
+        "--smoke",
+        "--seed",
+        "7",
+        "--jobs",
+        "2",
+        "--results-dir",
+        str(tmp_path),
+    ]
+    run = subprocess.run(argv, env=_cli_env(), capture_output=True, text=True, timeout=300)
+    assert run.returncode == 0, run.stdout + run.stderr
+    assert "Pareto point" in run.stdout
+    assert (tmp_path / "dse_grow-smoke.json").exists()
