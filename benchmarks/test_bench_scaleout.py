@@ -1,0 +1,52 @@
+"""Benchmark validating the scale-out projections (the ``scaling_out`` family).
+
+No paper figure corresponds to these experiments — they extend Figure 24's
+single-chip PE scaling to multi-chip systems — so the assertions check the
+physics the model must respect rather than published numbers.
+"""
+
+
+def test_scaleout_strong_scaling(suite_report):
+    result = suite_report.result("scaleout_strong_scaling")
+    for row in result.rows:
+        # One chip is the baseline by definition.
+        assert abs(row["chips_1"] - 1.0) < 1e-9
+        # Adding chips never hurts much: an idle chip costs nothing and
+        # communication overlaps compute, but the longer fabric's exposed
+        # hop latency may shave a few percent off a plateaued speedup.
+        assert row["chips_2"] >= row["chips_1"] - 1e-9
+        assert row["chips_16"] >= 0.9 * row["chips_4"]
+        assert row["chips_16"] >= row["chips_1"] - 1e-9
+        assert 0.0 < row["eff_16"] <= 3.0  # pooled DRAM allows super-linear
+    # Large graphs shard into more clusters and scale further than tiny ones.
+    by_dataset = {row["dataset"]: row for row in result.rows}
+    if "amazon" in by_dataset and "cora" in by_dataset:
+        assert by_dataset["amazon"]["chips_16"] > by_dataset["cora"]["chips_16"]
+        assert by_dataset["amazon"]["interchip_mb_max"] > 0.0
+
+
+def test_scaleout_weak_scaling(suite_report):
+    result = suite_report.result("scaleout_weak_scaling")
+    for row in result.rows:
+        assert abs(row["eff_1"] - 1.0) < 1e-9
+        # Weak scaling loses at most a bounded factor to communication and
+        # imbalance; it never collapses.
+        for chips in (2, 4):
+            assert 0.2 < row[f"eff_{chips}"] < 3.0
+
+
+def test_scaleout_topology_traffic(suite_report):
+    result = suite_report.result("scaleout_topology_traffic")
+    by_key = {(row["dataset"], row["topology"]): row for row in result.rows}
+    datasets = {row["dataset"] for row in result.rows}
+    for name in datasets:
+        ring = by_key[(name, "ring")]
+        mesh = by_key[(name, "mesh")]
+        fc = by_key[(name, "fully-connected")]
+        # Injected bytes depend on the sharding only, not the fabric.
+        assert abs(ring["interchip_mb"] - fc["interchip_mb"]) < 1e-9
+        assert abs(ring["interchip_mb"] - mesh["interchip_mb"]) < 1e-9
+        # One-hop fabrics never move more hop-bytes than multi-hop ones.
+        assert fc["hop_mb"] <= ring["hop_mb"] + 1e-9
+        assert fc["hop_mb"] <= mesh["hop_mb"] + 1e-9
+        assert fc["comm_cycles"] <= ring["comm_cycles"] + 1e-9

@@ -15,7 +15,9 @@ Walks the same path as README.md's quickstart, calling the
 4. ``repro dse``   — a seconds-scale design-space search with a Pareto
    frontier report (see ``examples/design_space_exploration.py`` for the
    library API),
-5. the library API behind those commands, for programmatic use.
+5. ``repro scaleout`` — a 4-chip system simulation with inter-chip traffic
+   and scaling efficiency (see ``examples/scaleout.py`` for the library API),
+6. the library API behind those commands, for programmatic use.
 
 Run with::
 
@@ -67,7 +69,11 @@ def main() -> None:
         repro_cli(["dse", "--smoke", "--seed", "7", "--jobs", "2",
                    "--budget", "6", "--results-dir", tmp])
 
-    print("\n== 5. The library API behind the CLI ==")
+    with tempfile.TemporaryDirectory() as tmp:
+        print("\n== 5. Scale-out: python -m repro scaleout --chips 4 --smoke ==")
+        repro_cli(["scaleout", "--chips", "4", "--smoke", "--results-dir", tmp])
+
+    print("\n== 6. The library API behind the CLI ==")
     result = run_experiment("fig20_speedup", config=smoke_config())
     row = result.rows[0]
     print(

@@ -9,8 +9,10 @@ Commands:
   on-disk result caching and JSON/Markdown reports (the workhorse command).
 * ``dse``                        — design-space exploration: search a named
   parameter space for the Pareto frontier (cycles vs area by default).
-* ``report``                     — render previously computed suite/DSE
-  results without recomputing anything.
+* ``scaleout``                   — simulate a multi-chip GROW system:
+  partition-aware sharding, inter-chip traffic, scaling efficiency.
+* ``report``                     — render previously computed suite/DSE/
+  scale-out results without recomputing anything.
 
 Examples::
 
@@ -21,6 +23,8 @@ Examples::
     python -m repro suite --smoke --jobs 2         # CI smoke target
     python -m repro dse --smoke --seed 7 --jobs 2  # seconds-scale frontier search
     python -m repro dse --space grow-sizing --sampler evolutionary --budget 48
+    python -m repro scaleout --chips 4 --smoke     # 4-chip ring, smoke datasets
+    python -m repro scaleout --chips 16 --topology mesh --link-bandwidth 64
     python -m repro report fig20_speedup
     python -m repro report dse_grow-smoke
 """
@@ -134,8 +138,69 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_config_arguments(dse_parser)
 
+    scaleout_parser = subparsers.add_parser(
+        "scaleout",
+        help="simulate a multi-chip GROW system (sharding + interconnect)",
+    )
+    scaleout_parser.add_argument(
+        "--chips", type=int, default=4, help="number of chips (default 4)"
+    )
+    scaleout_parser.add_argument(
+        "--topology",
+        choices=("ring", "mesh", "fully-connected"),
+        default="ring",
+        help="inter-chip fabric (default ring)",
+    )
+    scaleout_parser.add_argument(
+        "--link-bandwidth",
+        type=float,
+        default=32.0,
+        metavar="GBPS",
+        help="bandwidth of one inter-chip link in GB/s (default 32)",
+    )
+    scaleout_parser.add_argument(
+        "--link-latency",
+        type=int,
+        default=50,
+        metavar="CYCLES",
+        help="per-hop latency in cycles (default 50)",
+    )
+    scaleout_parser.add_argument(
+        "--exchange",
+        choices=("halo", "reduce", "auto"),
+        default="halo",
+        help="inter-chip exchange pattern (default halo)",
+    )
+    scaleout_parser.add_argument(
+        "--shard-method",
+        choices=("metis", "greedy"),
+        default="metis",
+        help="cluster-to-chip assignment (default metis)",
+    )
+    scaleout_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes per dataset (0 = one per CPU)"
+    )
+    scaleout_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced-size CI configuration (two shrunken datasets)",
+    )
+    scaleout_parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        help="report/cache directory shared with the suite (default benchmarks/results)",
+    )
+    scaleout_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk per-chip cache"
+    )
+    scaleout_parser.add_argument(
+        "--force", action="store_true", help="recompute even when a cached chip run exists"
+    )
+    _add_config_arguments(scaleout_parser)
+
     report_parser = subparsers.add_parser(
-        "report", help="render previously computed suite or DSE results"
+        "report", help="render previously computed suite, DSE or scale-out results"
     )
     report_parser.add_argument(
         "experiments", nargs="*", help="experiment ids (default: everything in the results dir)"
@@ -329,6 +394,57 @@ def _cmd_dse(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_scaleout(args) -> int:
+    from repro.harness.suite import DEFAULT_RESULTS_DIR
+    from repro.scaleout import ChipTopology, ScaleOutSimulator
+
+    if args.chips < 1:
+        raise SystemExit("--chips must be at least 1")
+    results_dir = args.results_dir if args.results_dir is not None else DEFAULT_RESULTS_DIR
+    try:
+        topology = ChipTopology(
+            num_chips=args.chips,
+            kind=args.topology,
+            link_bandwidth_gbps=args.link_bandwidth,
+            link_latency_cycles=args.link_latency,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    simulator = ScaleOutSimulator(
+        config=_config_from_args(args),
+        topology=topology,
+        exchange=args.exchange,
+        shard_method=args.shard_method,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        force=args.force,
+        results_dir=results_dir,
+    )
+
+    print(
+        f"simulating a {args.chips}-chip {args.topology} system "
+        f"({args.link_bandwidth:g} GB/s links, {args.link_latency} cycles/hop, "
+        f"exchange={args.exchange}) with {simulator.jobs} job(s); "
+        f"reports -> {results_dir}"
+    )
+
+    def progress(system) -> None:
+        cached = sum(1 for s in system.chip_statuses if s == "cached")
+        ran = sum(1 for s in system.chip_statuses if s == "ran")
+        print(
+            f"  {system.dataset}: {system.system_cycles:.3e} cycles, "
+            f"{system.interchip_bytes / 1e6:.2f} MB inter-chip, "
+            f"efficiency {system.scaling_efficiency:.2f} "
+            f"({ran} chip(s) ran, {cached} cached)"
+        )
+
+    results = simulator.run_all(progress=progress)
+    simulator.write_reports(results)
+    print()
+    print(simulator.report(results).to_table())
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.harness import ExperimentResult
     from repro.harness.suite import DEFAULT_RESULTS_DIR
@@ -381,6 +497,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_suite(args)
     if args.command == "dse":
         return _cmd_dse(args)
+    if args.command == "scaleout":
+        return _cmd_scaleout(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -101,6 +101,37 @@ class PhaseStats:
             return 0.0
         return min(1.0, self.requested_read_bytes / self.dram_read_bytes)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (used by the scale-out engine's result cache)."""
+        return {
+            "name": self.name,
+            "compute_cycles": float(self.compute_cycles),
+            "memory_cycles": float(self.memory_cycles),
+            "stall_cycles": float(self.stall_cycles),
+            "mac_operations": int(self.mac_operations),
+            "dram_read_bytes": int(self.dram_read_bytes),
+            "dram_write_bytes": int(self.dram_write_bytes),
+            "requested_read_bytes": int(self.requested_read_bytes),
+            "sram_access_bytes": {k: int(v) for k, v in self.sram_access_bytes.items()},
+            "extra": {k: float(v) for k, v in self.extra.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseStats":
+        """Rebuild phase statistics from their :meth:`to_dict` form."""
+        return cls(
+            name=data["name"],
+            compute_cycles=float(data.get("compute_cycles", 0.0)),
+            memory_cycles=float(data.get("memory_cycles", 0.0)),
+            stall_cycles=float(data.get("stall_cycles", 0.0)),
+            mac_operations=int(data.get("mac_operations", 0)),
+            dram_read_bytes=int(data.get("dram_read_bytes", 0)),
+            dram_write_bytes=int(data.get("dram_write_bytes", 0)),
+            requested_read_bytes=int(data.get("requested_read_bytes", 0)),
+            sram_access_bytes=dict(data.get("sram_access_bytes", {})),
+            extra=dict(data.get("extra", {})),
+        )
+
 
 @dataclass
 class AcceleratorResult:
@@ -164,6 +195,51 @@ class AcceleratorResult:
         if baseline.total_dram_bytes == 0:
             return float("nan")
         return self.total_dram_bytes / baseline.total_dram_bytes
+
+    def to_dict(self) -> dict:
+        """JSON-safe form that round-trips through :meth:`from_dict`.
+
+        The scale-out engine stores per-chip runs in the on-disk
+        :class:`~repro.harness.cache.ResultCache` in this form, so cached
+        re-runs compose bit-identical system results.
+        """
+        return {
+            "accelerator": self.accelerator,
+            "workload": self.workload,
+            "phases": [phase.to_dict() for phase in self.phases],
+            "sram_capacities": {k: int(v) for k, v in self.sram_capacities.items()},
+            "extra": {k: float(v) for k, v in self.extra.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AcceleratorResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        return cls(
+            accelerator=data["accelerator"],
+            workload=data["workload"],
+            phases=[PhaseStats.from_dict(p) for p in data.get("phases", [])],
+            sram_capacities=dict(data.get("sram_capacities", {})),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+def merge_sram_events(results: list[AcceleratorResult]) -> dict[str, tuple[int, int]]:
+    """Merge per-result SRAM activity into energy-model event tuples.
+
+    Returns ``{buffer: (capacity_bytes, access_bytes)}`` — the largest
+    capacity seen per buffer (per-access energy scales with array size) and
+    the summed access bytes.  The shape
+    :func:`repro.energy.energy_model.estimate_energy` consumes; used by both
+    the DSE objective evaluation and the scale-out engine so their energy
+    accounting cannot drift apart.
+    """
+    events: dict[str, tuple[int, int]] = {}
+    for result in results:
+        accesses = result.sram_access_bytes()
+        for name, capacity in result.sram_capacities.items():
+            previous = events.get(name, (capacity, 0))
+            events[name] = (max(previous[0], capacity), previous[1] + accesses.get(name, 0))
+    return events
 
 
 def combine_results(results: list[AcceleratorResult], workload: str | None = None) -> AcceleratorResult:

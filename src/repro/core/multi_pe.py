@@ -19,6 +19,7 @@ Timing model:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -27,6 +28,27 @@ from repro.core.accelerator import ClusterStats, GrowSimulator
 from repro.core.config import GrowConfig
 from repro.core.preprocess import PreprocessPlan
 from repro.core.runahead import RunaheadModel
+
+
+def greedy_longest_first(weights: Sequence[float], num_bins: int) -> np.ndarray:
+    """Longest-processing-time assignment of weighted items to bins.
+
+    Items are visited heaviest first and each goes to the currently
+    least-loaded bin — the classic LPT list-scheduling heuristic.  Returns
+    the bin id of every item, in the items' original order.  This is the
+    PE-array scheduling rule shared by the single-chip multi-PE model and
+    the multi-chip shard planner (``repro.scaleout.shard``).
+    """
+    if num_bins < 1:
+        raise ValueError("num_bins must be at least 1")
+    weights = np.asarray(weights, dtype=np.float64)
+    assignment = np.zeros(weights.size, dtype=np.int64)
+    loads = np.zeros(num_bins, dtype=np.float64)
+    for item in np.argsort(-weights, kind="stable"):
+        target = int(np.argmin(loads))
+        assignment[item] = target
+        loads[target] += weights[item]
+    return assignment
 
 
 @dataclass
@@ -95,13 +117,12 @@ class MultiPEGrowSimulator:
             )
 
         # Greedy longest-processing-time assignment of clusters to PEs.
+        pe_of_cluster = greedy_longest_first([c.compute_cycles for c in clusters], num_pes)
         per_pe_compute = [0.0] * num_pes
         per_pe_rows_with_miss = [0] * num_pes
-        order = sorted(clusters, key=lambda c: c.compute_cycles, reverse=True)
-        for cluster in order:
-            pe = int(np.argmin(per_pe_compute))
-            per_pe_compute[pe] += cluster.compute_cycles
-            per_pe_rows_with_miss[pe] += cluster.rows_with_miss
+        for cluster, pe in zip(clusters, pe_of_cluster):
+            per_pe_compute[int(pe)] += cluster.compute_cycles
+            per_pe_rows_with_miss[int(pe)] += cluster.rows_with_miss
 
         runahead = RunaheadModel(
             degree=self.config.effective_runahead,

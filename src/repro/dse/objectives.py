@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
+from repro.accelerators.base import merge_sram_events
 from repro.accelerators.gcnax import GCNAXSimulator
 from repro.core.accelerator import GrowSimulator
 from repro.core.preprocess import PreprocessPlan
@@ -204,21 +205,29 @@ def bind_candidate(
     return bound, overrides
 
 
+def _provision_ldn(grow_overrides: dict) -> dict:
+    """Size the LDN table to a searched runahead degree.
+
+    The paper's Figure 25(a) convention (same as ``runahead_sweep_cycles``):
+    ``ldn_table_entries`` only acts through ``min(degree, entries)``, so left
+    at its default it would silently clamp degrees above 16 and make
+    distinct candidates alias the same effective design.  Applied by every
+    accelerator branch that accepts GROW overrides.
+    """
+    if "runahead_degree" in grow_overrides and "ldn_table_entries" not in grow_overrides:
+        grow_overrides = {
+            **grow_overrides,
+            "ldn_table_entries": max(16, grow_overrides["runahead_degree"]),
+        }
+    return grow_overrides
+
+
 def _accumulate(results) -> tuple[float, int, int, dict[str, tuple[int, int]]]:
     """Sum cycles / traffic / MACs / SRAM events over per-dataset results."""
-    cycles = 0.0
-    dram_bytes = 0
-    mac_operations = 0
-    sram_events: dict[str, tuple[int, int]] = {}
-    for result in results:
-        cycles += result.total_cycles
-        dram_bytes += result.total_dram_bytes
-        mac_operations += result.total_mac_operations
-        accesses = result.sram_access_bytes()
-        for name, capacity in result.sram_capacities.items():
-            previous = sram_events.get(name, (capacity, 0))
-            sram_events[name] = (max(previous[0], capacity), previous[1] + accesses.get(name, 0))
-    return cycles, dram_bytes, mac_operations, sram_events
+    cycles = sum(result.total_cycles for result in results)
+    dram_bytes = sum(result.total_dram_bytes for result in results)
+    mac_operations = sum(result.total_mac_operations for result in results)
+    return cycles, dram_bytes, mac_operations, merge_sram_events(results)
 
 
 def candidate_metrics(
@@ -234,14 +243,7 @@ def candidate_metrics(
     """
     bound, overrides = bind_candidate(config, candidate)
     if accelerator == "grow":
-        # Provision the LDN table to the searched runahead degree (the
-        # paper's Figure 25(a) convention, same as runahead_sweep_cycles):
-        # ldn_table_entries only acts through min(degree, entries), so left
-        # at its default it would silently clamp degrees above 16 and make
-        # distinct candidates alias the same effective design.
-        if "runahead_degree" in overrides and "ldn_table_entries" not in overrides:
-            overrides["ldn_table_entries"] = max(16, overrides["runahead_degree"])
-        grow_config = bound.grow_config(**overrides)
+        grow_config = bound.grow_config(**_provision_ldn(overrides))
         simulator = GrowSimulator(grow_config)
         results = [
             simulator.run_model(bundle.workloads, bundle.plan)
@@ -262,6 +264,8 @@ def candidate_metrics(
         # GCNAX's area is the published total (Table IV), scaled to 65 nm so
         # cross-accelerator frontiers compare like against like.
         area_mm2 = scale_area(GCNAX_AREA_MM2_40NM, from_nm=40, to_nm=65)
+    elif accelerator == "scaleout":
+        return _scaleout_candidate_metrics(bound, overrides)
     else:
         raise ValueError(f"unknown accelerator {accelerator!r}")
 
@@ -278,6 +282,54 @@ def candidate_metrics(
         "dram_bytes": float(dram_bytes),
         "energy_nj": float(energy.total_nj),
         "area_mm2": float(area_mm2),
+    }
+
+
+#: Candidate keys consumed by the scale-out system itself; everything else
+#: in a ``"scaleout"`` candidate is a per-chip GROW override.
+_SCALEOUT_KEYS = frozenset(
+    ("num_chips", "topology", "link_bandwidth_gbps", "link_latency_cycles", "exchange")
+)
+
+
+def _scaleout_candidate_metrics(
+    bound: ExperimentConfig, overrides: dict
+) -> dict[str, float]:
+    """Metrics of one multi-chip system candidate.
+
+    ``cycles``/``dram_bytes``/``energy_nj`` sum the system results over the
+    configuration's datasets (interconnect traffic is priced inside the
+    engine's energy, not counted as DRAM); ``area_mm2`` is the chip area
+    times the chip count.
+    """
+    # Imported at call time: repro.scaleout sits beside repro.dse at the top
+    # of the stack, and only scale-out searches need it.
+    from repro.scaleout import ChipTopology, ScaleOutSimulator
+
+    fabric = {key: overrides[key] for key in _SCALEOUT_KEYS if key in overrides}
+    grow_overrides = _provision_ldn(
+        {k: v for k, v in overrides.items() if k not in _SCALEOUT_KEYS}
+    )
+    topology = ChipTopology(
+        num_chips=int(fabric.get("num_chips", 1)),
+        kind=fabric.get("topology", "ring"),
+        link_bandwidth_gbps=float(fabric.get("link_bandwidth_gbps", 32.0)),
+        link_latency_cycles=int(fabric.get("link_latency_cycles", 50)),
+    )
+    simulator = ScaleOutSimulator(
+        config=bound,
+        topology=topology,
+        exchange=fabric.get("exchange", "halo"),
+        grow_overrides=grow_overrides,
+        use_cache=False,  # the DSE engine caches whole candidate evaluations
+        results_dir=None,
+    )
+    systems = simulator.run_all()
+    return {
+        "cycles": float(sum(s.system_cycles for s in systems)),
+        "dram_bytes": float(sum(s.dram_bytes for s in systems)),
+        "energy_nj": float(sum(s.energy_nj for s in systems)),
+        "area_mm2": float(systems[0].area_mm2 if systems else 0.0),
     }
 
 

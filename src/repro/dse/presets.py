@@ -4,7 +4,9 @@ The named spaces turn the paper's sensitivity studies into small,
 declarative search problems: Figure 25(a)'s runahead sweep and Figure
 25(b)'s bandwidth sweep are grid spaces here, and ``grow-sizing`` spans the
 sizing axes behind Table III/IV.  ``grow-smoke`` is the seconds-scale CI
-space used by ``python -m repro dse --smoke``.
+space used by ``python -m repro dse --smoke``.  The ``scaleout-*`` spaces
+make the multi-chip system (:mod:`repro.scaleout`) searchable: chip count,
+fabric topology and link bandwidth become ordinary DSE dimensions.
 
 Importing this module also registers ``dse_grow_frontier`` with the
 experiment registry (:mod:`repro.harness.registry`), which makes the DSE
@@ -99,6 +101,31 @@ FIG25B_BANDWIDTH_GCNAX = register_space(
         description="Figure 25(b) companion: GCNAX across the same bandwidth range",
         accelerator="gcnax",
         params=(NumericRange("bandwidth_gbps", 4.0, 64.0, num_points=5, log=True),),
+    )
+)
+
+SCALEOUT_FABRIC = register_space(
+    ParameterSpace(
+        name="scaleout-fabric",
+        description="multi-chip system axes: chip count x topology x link bandwidth",
+        accelerator="scaleout",
+        params=(
+            Categorical("num_chips", (1, 2, 4, 8, 16)),
+            Categorical("topology", ("ring", "mesh", "fully-connected")),
+            NumericRange("link_bandwidth_gbps", 8.0, 128.0, num_points=4, log=True),
+        ),
+    )
+)
+
+SCALEOUT_SMOKE = register_space(
+    ParameterSpace(
+        name="scaleout-smoke",
+        description="tiny CI space (4 candidates): chip count x topology",
+        accelerator="scaleout",
+        params=(
+            Categorical("num_chips", (1, 4)),
+            Categorical("topology", ("ring", "fully-connected")),
+        ),
     )
 )
 

@@ -151,9 +151,10 @@ class ParameterSpace:
         name: space identifier (used in report/cache file names).
         params: parameters in declaration order; conditionals must depend on
             an earlier parameter.
-        accelerator: which simulator evaluates candidates (``"grow"`` or
-            ``"gcnax"``); see :mod:`repro.dse.objectives` for the binding
-            rules of candidate keys onto configuration fields.
+        accelerator: which simulator evaluates candidates (``"grow"``,
+            ``"gcnax"`` or the multi-chip ``"scaleout"`` system); see
+            :mod:`repro.dse.objectives` for the binding rules of candidate
+            keys onto configuration fields.
         description: one-line summary shown by ``repro dse --list-spaces``.
     """
 
@@ -167,7 +168,7 @@ class ParameterSpace:
             raise ValueError("a parameter space needs a name")
         if not self.params:
             raise ValueError(f"space {self.name!r} declares no parameters")
-        if self.accelerator not in ("grow", "gcnax"):
+        if self.accelerator not in ("grow", "gcnax", "scaleout"):
             raise ValueError(f"space {self.name!r}: unknown accelerator {self.accelerator!r}")
         seen: set[str] = set()
         for param in self.params:

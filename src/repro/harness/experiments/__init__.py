@@ -14,6 +14,9 @@ The monolithic experiment module is split along the paper's narrative:
   runahead and bandwidth sensitivity).
 * :mod:`~repro.harness.experiments.comparison` — Figure 26 (MatRaptor and
   GAMMA sparse-sparse baselines).
+* :mod:`~repro.harness.experiments.scaling_out` — beyond the paper: the
+  multi-chip ``scaling_out`` family (strong/weak scaling, topology
+  sensitivity) built on :mod:`repro.scaleout`.
 
 Importing this package registers every experiment with
 :mod:`repro.harness.registry`.  Every experiment consumes an
@@ -34,6 +37,7 @@ from repro.harness.experiments import evaluation  # noqa: F401
 from repro.harness.experiments import physical  # noqa: F401
 from repro.harness.experiments import scaling  # noqa: F401
 from repro.harness.experiments import comparison  # noqa: F401
+from repro.harness.experiments import scaling_out  # noqa: F401
 
 __all__ = [
     "gcnax_results",

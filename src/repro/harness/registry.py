@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable
+import difflib
+from typing import Callable, Iterable
 
 from repro.harness.config import ExperimentConfig, default_config
 from repro.harness.report import ExperimentResult
@@ -34,24 +35,44 @@ def list_experiments() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def suggest_experiments(name: str, limit: int = 3) -> list[str]:
+    """Registered names close to ``name`` (for did-you-mean error messages)."""
+    return difflib.get_close_matches(name, list_experiments(), n=limit, cutoff=0.4)
+
+
+def _unknown_name_message(unknown: Iterable[str]) -> str:
+    lines = []
+    for name in unknown:
+        close = suggest_experiments(name)
+        if close:
+            lines.append(f"unknown experiment {name!r}; did you mean {', '.join(close)}?")
+        else:
+            lines.append(f"unknown experiment {name!r}")
+    lines.append("(see 'python -m repro list' for every registered experiment)")
+    return "\n".join(lines)
+
+
 def get_experiment(name: str) -> ExperimentFn:
     """Look up an experiment function by name."""
     if name not in _REGISTRY:
-        raise KeyError(f"unknown experiment {name!r}; known: {list_experiments()}")
+        # Single line: KeyError renders its argument with repr, so embedded
+        # newlines would show as literal \n in library tracebacks.
+        raise KeyError(_unknown_name_message([name]).replace("\n", " "))
     return _REGISTRY[name]
 
 
 def validate_experiment_names(names) -> None:
     """Raise ``SystemExit`` (CLI-friendly) when any name is unregistered.
 
-    Used by the ``run``/``suite`` CLI verbs; the registry covers both the
-    figure experiments and the DSE frontier experiments registered by
-    :mod:`repro.dse.presets`.
+    Unknown names come back with close-match suggestions (``fig20_speedup``
+    for ``fig20-speedup`` and the like) instead of a bare list dump.  Used
+    by the ``run``/``suite`` CLI verbs; the registry covers the figure
+    experiments, the DSE frontier experiments and the scale-out family.
     """
-    known = list_experiments()
-    unknown = [name for name in names if name not in set(known)]
+    known = set(list_experiments())
+    unknown = [name for name in names if name not in known]
     if unknown:
-        raise SystemExit(f"unknown experiments {unknown}; choose from {known}")
+        raise SystemExit(_unknown_name_message(unknown))
 
 
 def experiment_summary(name: str) -> str:

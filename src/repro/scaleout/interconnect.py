@@ -1,0 +1,172 @@
+"""Inter-chip traffic and latency: halo exchanges and partial reductions.
+
+The interconnect model converts a shard plan's chip-pair row counts into
+byte matrices and transfer cycles on a :class:`~repro.scaleout.topology.
+ChipTopology`.  The timing model mirrors how the single-chip simulator
+treats DRAM under runahead execution: *bandwidth* terms overlap with
+compute (the binding bound is a ``max``), while the *per-hop latency* of the
+final synchronising exchange is exposed, like the runahead model's exposed
+stall cycles.
+
+Transfer cycles of one exchange are the worst of three serialization bounds:
+
+* egress — the most loaded sender spreads its bytes over its outgoing links;
+* ingress — the most loaded receiver spreads its bytes over its incoming
+  links;
+* capacity — every byte occupies one link per hop, so total hop-bytes cannot
+  exceed the fabric's aggregate link bandwidth.
+
+Two exchange patterns are supported per aggregation layer:
+
+* ``"halo"`` — chips fetch the remote dense (XW) rows their rows reference
+  (``halo_counts`` x RHS row bytes);
+* ``"reduce"`` — chips send partially aggregated output rows to the row
+  owner (``partial_counts`` x output row bytes);
+* ``"auto"`` — per layer, whichever of the two moves fewer bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.scaleout.shard import ShardPlan
+from repro.scaleout.topology import ChipTopology
+
+#: Supported exchange patterns.
+EXCHANGE_PATTERNS = ("halo", "reduce", "auto")
+
+
+@dataclass
+class ExchangeReport:
+    """Cost of one inter-chip exchange (one aggregation layer).
+
+    Attributes:
+        pattern: exchange pattern actually used (``"halo"`` or ``"reduce"``).
+        bytes_matrix: ``[src, dst]`` bytes moved between chip pairs.
+        total_bytes: bytes injected into the fabric.
+        hop_bytes: bytes x hops — the link occupancy the capacity bound sees.
+        transfer_cycles: serialization cycles (overlap with compute).
+        exposed_latency_cycles: per-hop latency of the synchronising
+            exchange (exposed, like runahead's residual stalls).
+        max_egress_bytes / max_ingress_bytes: the busiest chip's traffic.
+    """
+
+    pattern: str
+    bytes_matrix: np.ndarray
+    total_bytes: int
+    hop_bytes: int
+    transfer_cycles: float
+    exposed_latency_cycles: float
+    max_egress_bytes: int
+    max_ingress_bytes: int
+
+    @property
+    def total_cost_cycles(self) -> float:
+        """Serialization plus exposed latency (used by ``"auto"`` selection)."""
+        return self.transfer_cycles + self.exposed_latency_cycles
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe summary (the per-pair matrix is reduced to totals)."""
+        return {
+            "pattern": self.pattern,
+            "total_bytes": int(self.total_bytes),
+            "hop_bytes": int(self.hop_bytes),
+            "transfer_cycles": float(self.transfer_cycles),
+            "exposed_latency_cycles": float(self.exposed_latency_cycles),
+            "max_egress_bytes": int(self.max_egress_bytes),
+            "max_ingress_bytes": int(self.max_ingress_bytes),
+        }
+
+
+class InterconnectModel:
+    """Turns shard-plan exchange sets into traffic and cycles on a topology."""
+
+    def __init__(self, topology: ChipTopology, exchange: str = "halo") -> None:
+        if exchange not in EXCHANGE_PATTERNS:
+            raise ValueError(
+                f"unknown exchange pattern {exchange!r}; choose from {EXCHANGE_PATTERNS}"
+            )
+        self.topology = topology
+        self.exchange = exchange
+
+    # -- byte matrices -----------------------------------------------------
+
+    def _bytes_matrix(self, shard_plan: ShardPlan, pattern: str, row_bytes: int) -> np.ndarray:
+        counts = shard_plan.halo_counts if pattern == "halo" else shard_plan.partial_counts
+        return counts.astype(np.int64) * int(row_bytes)
+
+    # -- timing ------------------------------------------------------------
+
+    def cost(self, bytes_matrix: np.ndarray, pattern: str) -> ExchangeReport:
+        """Transfer cycles and exposed latency of one exchange."""
+        topology = self.topology
+        bytes_matrix = np.asarray(bytes_matrix, dtype=np.int64)
+        total_bytes = int(bytes_matrix.sum())
+        if total_bytes == 0 or topology.num_chips == 1:
+            return ExchangeReport(
+                pattern=pattern,
+                bytes_matrix=bytes_matrix,
+                total_bytes=0,
+                hop_bytes=0,
+                transfer_cycles=0.0,
+                exposed_latency_cycles=0.0,
+                max_egress_bytes=0,
+                max_ingress_bytes=0,
+            )
+        hops = topology.hop_matrix
+        hop_bytes = int((bytes_matrix * hops).sum())
+        link_bpc = topology.link_bytes_per_cycle
+        degrees = np.array(
+            [max(1, topology.degree(chip)) for chip in range(topology.num_chips)],
+            dtype=np.float64,
+        )
+        egress = bytes_matrix.sum(axis=1).astype(np.float64)
+        ingress = bytes_matrix.sum(axis=0).astype(np.float64)
+        egress_bound = float((egress / (degrees * link_bpc)).max())
+        ingress_bound = float((ingress / (degrees * link_bpc)).max())
+        capacity_bound = hop_bytes / (max(1, topology.num_links) * link_bpc)
+        transfer_cycles = max(egress_bound, ingress_bound, capacity_bound)
+        # The farthest pair actually exchanging data sets the exposed
+        # synchronisation latency of the layer barrier.
+        active = bytes_matrix > 0
+        max_active_hops = int(hops[active].max()) if active.any() else 0
+        exposed = float(max_active_hops * topology.link_latency_cycles)
+        return ExchangeReport(
+            pattern=pattern,
+            bytes_matrix=bytes_matrix,
+            total_bytes=total_bytes,
+            hop_bytes=hop_bytes,
+            transfer_cycles=transfer_cycles,
+            exposed_latency_cycles=exposed,
+            max_egress_bytes=int(bytes_matrix.sum(axis=1).max()),
+            max_ingress_bytes=int(bytes_matrix.sum(axis=0).max()),
+        )
+
+    def layer_exchange(
+        self, shard_plan: ShardPlan, rhs_row_bytes: int, output_row_bytes: int | None = None
+    ) -> ExchangeReport:
+        """Cost of one aggregation layer's exchange under the configured pattern.
+
+        Args:
+            shard_plan: the shard plan whose exchange sets are being priced.
+            rhs_row_bytes: bytes of one dense RHS (XW) row — the halo unit.
+            output_row_bytes: bytes of one output row — the reduction unit
+                (defaults to ``rhs_row_bytes``: aggregation preserves width).
+        """
+        output_row_bytes = rhs_row_bytes if output_row_bytes is None else output_row_bytes
+        if self.exchange in ("halo", "reduce"):
+            pattern = self.exchange
+            row_bytes = rhs_row_bytes if pattern == "halo" else output_row_bytes
+            return self.cost(self._bytes_matrix(shard_plan, pattern, row_bytes), pattern)
+        halo = self.cost(self._bytes_matrix(shard_plan, "halo", rhs_row_bytes), "halo")
+        reduce_ = self.cost(
+            self._bytes_matrix(shard_plan, "reduce", output_row_bytes), "reduce"
+        )
+        return halo if halo.total_cost_cycles <= reduce_.total_cost_cycles else reduce_
+
+    def energy_nj(self, hop_bytes: int) -> float:
+        """Link energy of moving ``hop_bytes`` byte-hops across the fabric."""
+        return hop_bytes * self.topology.link_energy_pj_per_byte / 1000.0

@@ -42,10 +42,19 @@ def test_run_prints_table(capsys):
 
 
 def test_run_unknown_experiment_fails_cleanly():
-    with pytest.raises(SystemExit, match="unknown experiments"):
+    with pytest.raises(SystemExit, match="unknown experiment 'no_such_experiment'"):
         main(["run", "no_such_experiment"])
-    with pytest.raises(SystemExit, match="unknown experiments"):
+    with pytest.raises(SystemExit, match="unknown experiment"):
         main(["suite", "no_such_experiment"])
+
+
+def test_run_unknown_experiment_suggests_close_matches():
+    # A near-miss (dash for underscore) earns a did-you-mean suggestion.
+    with pytest.raises(SystemExit, match="did you mean.*fig20_speedup"):
+        main(["run", "fig20-speedup"])
+    # Gibberish gets the plain error plus the pointer at 'repro list'.
+    with pytest.raises(SystemExit, match="python -m repro list"):
+        main(["run", "zzzzqqqq"])
 
 
 def test_suite_writes_reports_and_caches(tmp_path, capsys):
@@ -178,6 +187,46 @@ def test_dse_smoke_writes_frontier_and_caches(tmp_path, capsys):
     # And ``report`` re-renders the stored frontier without recomputing.
     assert main(["report", "dse_grow-smoke", "--results-dir", str(tmp_path)]) == 0
     assert capsys.readouterr().out.startswith("## dse_grow-smoke")
+
+
+def test_scaleout_smoke_writes_reports_and_caches(tmp_path, capsys):
+    argv = [
+        "scaleout",
+        "--chips",
+        "4",
+        "--smoke",
+        "--results-dir",
+        str(tmp_path),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "4-chip ring system" in out
+    assert "efficiency" in out and "interchip_mb" in out
+    report_path = tmp_path / "scaleout_ring4.json"
+    assert report_path.exists() and (tmp_path / "scaleout_ring4.md").exists()
+    first = json.loads(report_path.read_text())
+    assert [row["dataset"] for row in first["rows"]] == ["cora", "amazon"]
+
+    # Second run: every chip comes from the cache, the report is identical.
+    assert main(argv) == 0
+    assert "0 chip(s) ran" in capsys.readouterr().out
+    assert json.loads(report_path.read_text()) == first
+
+    # And ``report`` re-renders the stored system results without recomputing.
+    assert main(["report", "scaleout_ring4", "--results-dir", str(tmp_path)]) == 0
+    assert capsys.readouterr().out.startswith("## scaleout_ring4")
+
+
+def test_scaleout_invalid_chips_fails_cleanly():
+    with pytest.raises(SystemExit, match="--chips must be at least 1"):
+        main(["scaleout", "--chips", "0", "--smoke"])
+
+
+def test_scaleout_invalid_link_parameters_fail_cleanly():
+    with pytest.raises(SystemExit, match="link_bandwidth_gbps must be positive"):
+        main(["scaleout", "--chips", "4", "--link-bandwidth", "0", "--smoke"])
+    with pytest.raises(SystemExit, match="link_latency_cycles must be non-negative"):
+        main(["scaleout", "--chips", "4", "--link-latency", "-1", "--smoke"])
 
 
 def test_dse_smoke_target_subprocess(tmp_path):

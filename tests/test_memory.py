@@ -63,6 +63,41 @@ def test_bandwidth_utilization_helper():
     assert bandwidth_utilization(32, 64) == 0.5
     assert bandwidth_utilization(100, 64) == 1.0
     assert bandwidth_utilization(10, 0) == 0.0
+    assert bandwidth_utilization(10, -5) == 0.0
+
+
+def test_traffic_counter_empty_is_all_zero():
+    counter = TrafficCounter()
+    assert counter.total_read_bytes() == 0
+    assert counter.total_write_bytes() == 0
+    assert counter.total_bytes() == 0
+    assert counter.utilization() == 0.0
+    assert counter.as_dict() == {"requested": {}, "transferred": {}, "written": {}}
+
+
+def test_traffic_counter_unknown_label_utilization_is_zero():
+    counter = TrafficCounter()
+    counter.record_read("adjacency", requested=10, transferred=64)
+    assert counter.utilization("never_recorded") == 0.0
+
+
+def test_traffic_counter_zero_byte_records_are_legal():
+    # Empty partitions produce zero-byte transfers; they must not divide by
+    # zero or pollute the utilisation of other streams.
+    counter = TrafficCounter()
+    counter.record_read("halo", requested=0, transferred=0)
+    counter.record_write("halo", 0)
+    assert counter.utilization("halo") == 0.0
+    counter.record_read("adjacency", requested=32, transferred=64)
+    assert counter.utilization() == pytest.approx(0.5)
+
+
+def test_traffic_counter_merge_with_empty_is_identity():
+    counter = TrafficCounter()
+    counter.record_read("a", requested=8, transferred=64)
+    counter.record_write("a", 16)
+    assert counter.merge(TrafficCounter()).as_dict() == counter.as_dict()
+    assert TrafficCounter().merge(counter).as_dict() == counter.as_dict()
 
 
 # ----------------------------------------------------------------------

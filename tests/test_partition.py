@@ -104,6 +104,54 @@ def test_edge_cut_zero_for_single_cluster(community_graph):
     assert partition_edge_cut(community_graph, assignment) == 0
 
 
+def test_zero_degree_nodes_are_still_assigned():
+    # Nodes 4..7 have no edges at all; every partitioner must still place
+    # them in exactly one cluster and keep the permutation a bijection.
+    graph = Graph.from_edge_list(8, [(0, 1), (1, 2), (2, 3)])
+    for method in ("metis", "bfs"):
+        partition = partition_graph(graph, 3, method=method, seed=0)
+        _assert_valid(partition, 8, partition.num_clusters)
+        assert partition.cluster_sizes.sum() == 8
+
+
+def test_single_node_clusters_cover_every_node():
+    # As many clusters as nodes: each cluster holds exactly one node.
+    graph = Graph.from_edge_list(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    for method in ("metis", "bfs"):
+        partition = partition_graph(graph, 5, method=method, seed=0)
+        _assert_valid(partition, 5, partition.num_clusters)
+        assert partition.cluster_sizes.max() <= 2  # near-singleton balance
+
+
+def test_single_node_graph_partitions():
+    graph = Graph.from_edge_list(1, [])
+    for method in ("metis", "bfs"):
+        partition = partition_graph(graph, 4, method=method, seed=0)
+        assert partition.num_clusters == 1
+        assert partition.assignment.tolist() == [0]
+        assert partition.cluster_slices() == [(0, 1)]
+
+
+def test_edgeless_graph_partitions_in_balance():
+    # A graph with zero edges exercises the empty-frontier / empty-label
+    # paths of both partitioners.
+    graph = Graph.from_edge_list(12, [])
+    for method in ("metis", "bfs"):
+        partition = partition_graph(graph, 4, method=method, seed=0)
+        _assert_valid(partition, 12, partition.num_clusters)
+        assert partition_edge_cut(graph, partition.assignment) == 0
+
+
+def test_edge_cut_ignores_empty_partitions():
+    # An assignment that skips cluster id 1 entirely (an "empty partition")
+    # is still a legal input to the edge-cut metric.
+    graph = Graph.from_edge_list(4, [(0, 1), (2, 3)])
+    assignment = np.array([0, 0, 2, 2])
+    assert partition_edge_cut(graph, assignment) == 0
+    assignment = np.array([0, 2, 2, 2])
+    assert partition_edge_cut(graph, assignment) == 2  # both directions of (0,1)
+
+
 def test_partition_on_disconnected_graph():
     graph = Graph.from_edge_list(6, [(0, 1), (2, 3), (4, 5)])
     partition = metis_like_partition(graph, 3, seed=0)
