@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""The unified simulation API: one request/backend/result contract.
+
+Paper reference: the facade over everything — the GROW simulator of
+Sections IV-VI, the GCNAX/HyGCN/MatRaptor/GAMMA baselines of Figures 20
+and 26, the multi-PE scaling model of Figure 24, and the multi-chip
+scale-out extension — behind a single ``Session.run(SimRequest)`` call.
+
+The walkthrough:
+
+1. build a validated, canonical :class:`~repro.api.SimRequest` and show
+   its JSON form (the universal cache key),
+2. run it through a :class:`~repro.api.Session` and read the uniform
+   :class:`~repro.api.RunResult` (metrics + full per-phase detail),
+3. fan a batch over every backend with ``Session.run_batch`` and compare
+   the designs on identical inputs,
+4. express a 4-chip system as a request (``scaleout`` backend + fabric
+   spec) and verify the 1-chip request reproduces ``grow`` exactly,
+5. demonstrate the did-you-mean validation errors and the memo/cache.
+
+Run with::
+
+    python examples/api_session.py [dataset] [--smoke]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api import (
+    RequestError,
+    ScaleOutSpec,
+    Session,
+    SimRequest,
+    list_backends,
+)
+from repro.graph.datasets import DATASET_NAMES
+from repro.harness import smoke_config
+
+
+def main() -> None:
+    arguments = [a for a in sys.argv[1:] if a != "--smoke"]
+    # amazon by default: its smoke graph partitions into several clusters,
+    # so the scale-out step shows real inter-chip traffic.
+    dataset = arguments[0] if arguments else "amazon"
+    if dataset not in DATASET_NAMES:
+        raise SystemExit(f"unknown dataset {dataset!r}; choose from {DATASET_NAMES}")
+    # The smoke configuration keeps the walkthrough at CI-friendly sizes;
+    # SimRequest.from_experiment lifts any ExperimentConfig into requests.
+    config = smoke_config(datasets=(dataset,))
+
+    print("== 1. A typed, canonical request ==")
+    request = SimRequest.from_experiment(
+        config, dataset, backend="grow", overrides={"runahead_degree": 32}
+    )
+    print(f"cache key : {request.cache_key()}")
+    print(f"canonical : {request.canonical_json()}")
+
+    print("\n== 2. Session.run -> RunResult ==")
+    session = Session()
+    result = session.run(request)
+    print(
+        f"{result.backend} on {dataset}: {result.total_cycles:.3e} cycles, "
+        f"{result.dram_bytes / 1e6:.2f} MB DRAM, {result.energy_nj / 1000:.1f} uJ, "
+        f"{result.area_mm2:.2f} mm^2  [{result.status}]"
+    )
+    phases = result.accelerator_result().phases
+    print(f"detail payload: {len(phases)} phases, first = {phases[0].name}")
+
+    print(f"\n== 3. One batch across every backend: {list_backends()} ==")
+    accelerators = ("grow", "gcnax", "hygcn", "matraptor", "gamma")
+    runs = session.run_batch(
+        [
+            SimRequest.from_experiment(config, dataset, backend=backend)
+            for backend in accelerators
+        ]
+    )
+    baseline = next(r for r in runs if r.backend == "gcnax")
+    for run in sorted(runs, key=lambda r: r.total_cycles):
+        print(
+            f"  {run.backend:10s} {run.total_cycles:12.3e} cycles  "
+            f"({baseline.total_cycles / run.total_cycles:5.2f}x vs GCNAX)"
+        )
+
+    print("\n== 4. A multi-chip system is just another request ==")
+    fabric = ScaleOutSpec(num_chips=4, topology="mesh", link_bandwidth_gbps=64.0)
+    system = session.run(
+        SimRequest.from_experiment(config, dataset, backend="scaleout", fabric=fabric)
+    )
+    detail = system.system_dict()
+    print(
+        f"4-chip mesh: {system.total_cycles:.3e} cycles, "
+        f"speedup {detail['speedup_vs_single_chip']:.2f}x, "
+        f"efficiency {detail['scaling_efficiency']:.2f}, "
+        f"{detail['interchip_bytes'] / 1e6:.2f} MB inter-chip"
+    )
+    one_chip = session.run(
+        SimRequest.from_experiment(
+            config, dataset, backend="scaleout", fabric=ScaleOutSpec(num_chips=1)
+        )
+    )
+    grow = session.run(SimRequest.from_experiment(config, dataset, backend="grow"))
+    assert one_chip.total_cycles == grow.total_cycles, "1-chip system must equal grow"
+    print(f"1-chip system == plain grow: {one_chip.total_cycles:.6e} cycles (exact)")
+
+    print("\n== 5. Validation and reuse ==")
+    try:
+        SimRequest(dataset=dataset, backend="gorw")
+    except RequestError as error:
+        print(f"validation: {error}")
+    again = session.run(request)
+    print(f"re-running the step-2 request: status = {again.status!r} (memoised)")
+
+
+if __name__ == "__main__":
+    main()

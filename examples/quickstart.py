@@ -17,7 +17,10 @@ Walks the same path as README.md's quickstart, calling the
    library API),
 5. ``repro scaleout`` — a 4-chip system simulation with inter-chip traffic
    and scaling efficiency (see ``examples/scaleout.py`` for the library API),
-6. the library API behind those commands, for programmatic use.
+6. ``repro sim`` — one request through the unified API facade, plus its
+   machine-readable ``--json`` payload (see ``examples/api_session.py``
+   for the library walkthrough),
+7. the library API behind those commands, for programmatic use.
 
 Run with::
 
@@ -73,13 +76,27 @@ def main() -> None:
         print("\n== 5. Scale-out: python -m repro scaleout --chips 4 --smoke ==")
         repro_cli(["scaleout", "--chips", "4", "--smoke", "--results-dir", tmp])
 
-    print("\n== 6. The library API behind the CLI ==")
+    print(f"\n== 6. The API facade: python -m repro sim --backend grow "
+          f"--datasets {dataset_name} --smoke ==")
+    repro_cli(["sim", "--backend", "grow", "--datasets", dataset_name, "--smoke"])
+    print("\n-- same request as canonical JSON (pipe into jq & friends) --")
+    repro_cli(["sim", "--backend", "grow", "--datasets", dataset_name, "--smoke",
+               "--json"])
+
+    print("\n== 7. The library API behind the CLI ==")
     result = run_experiment("fig20_speedup", config=smoke_config())
     row = result.rows[0]
     print(
         f"run_experiment('fig20_speedup', config=smoke_config()) -> "
         f"{row['dataset']}: {row['speedup_with_gp']:.2f}x speedup over GCNAX "
         f"(geomean {result.metadata['geomean_speedup_with_gp']:.2f}x)"
+    )
+    from repro.api import Session, SimRequest
+
+    run = Session().run(SimRequest.from_experiment(smoke_config(), "cora"))
+    print(
+        f"Session().run(SimRequest(...'cora'...)) -> {run.total_cycles:.3e} cycles "
+        f"[{run.status}]  (see examples/api_session.py for the full walkthrough)"
     )
     print("see README.md for the full clone-to-figure workflow")
 

@@ -13,8 +13,16 @@ convolutional networks.  This package contains the full reproduction stack:
 * ``repro.analysis`` — workload characterisation (densities, tiles, bandwidth)
 * ``repro.harness`` — experiment registry, suite orchestration (parallel
   execution + on-disk result caching) and structured reports
+* ``repro.dse``     — design-space exploration (samplers, Pareto frontiers)
+* ``repro.scaleout`` — multi-chip systems (sharding, interconnect, scaling)
+* ``repro.api``     — the unified simulation-service facade: one typed
+  ``Session.run(SimRequest) -> RunResult`` contract over every engine above
 
 Quick start::
+
+    from repro.api import Session, SimRequest
+    result = Session().run(SimRequest(dataset="cora", backend="grow"))
+    print(result.total_cycles)
 
     from repro.harness import run_experiment
     result = run_experiment("fig20_speedup", datasets=("cora", "citeseer"))
@@ -24,10 +32,11 @@ Or from the command line (see README.md for the full workflow)::
 
     python -m repro list --verbose
     python -m repro run fig20_speedup
+    python -m repro sim --backend grow --datasets cora
     python -m repro suite --jobs 8        # full figure suite, cached
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import GrowConfig, GrowSimulator
 from repro.accelerators import GCNAXSimulator

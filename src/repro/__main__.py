@@ -4,13 +4,19 @@ Commands:
 
 * ``list``                       — list the registered experiments.
 * ``datasets``                   — print the synthetic dataset inventory (Table I).
-* ``run <experiment> [...]``     — run experiments and print their tables.
+* ``run <experiment> [...]``     — run experiments and print their tables
+  (``--json`` for machine-readable output).
+* ``sim``                        — run one simulation request through the
+  unified API facade (``repro.api``): any backend, any dataset, optional
+  config overrides and scale-out fabric; ``--json`` emits the canonical
+  ``RunResult`` payload.
 * ``suite``                      — run many experiments in parallel with
   on-disk result caching and JSON/Markdown reports (the workhorse command).
 * ``dse``                        — design-space exploration: search a named
   parameter space for the Pareto frontier (cycles vs area by default).
 * ``scaleout``                   — simulate a multi-chip GROW system:
-  partition-aware sharding, inter-chip traffic, scaling efficiency.
+  partition-aware sharding, inter-chip traffic, scaling efficiency
+  (``--json`` emits canonical ``RunResult`` payloads).
 * ``report``                     — render previously computed suite/DSE/
   scale-out results without recomputing anything.
 
@@ -18,6 +24,10 @@ Examples::
 
     python -m repro list --verbose
     python -m repro run fig20_speedup --datasets cora citeseer
+    python -m repro run fig20_speedup --json       # ExperimentResult dicts
+    python -m repro sim --backend grow --datasets cora --override runahead_degree=32
+    python -m repro sim --backend gcnax --smoke --json
+    python -m repro sim --backend scaleout --chips 4 --topology mesh --smoke
     python -m repro suite --jobs 8                 # full figure suite, parallel
     python -m repro suite --jobs 8                 # second run: all cache hits
     python -m repro suite --smoke --jobs 2         # CI smoke target
@@ -54,6 +64,58 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run experiments and print their tables")
     run_parser.add_argument("experiments", nargs="+", help="experiment ids (see 'list')")
     _add_config_arguments(run_parser)
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the experiment results as JSON instead of tables",
+    )
+
+    sim_parser = subparsers.add_parser(
+        "sim",
+        help="run one simulation through the unified API facade (repro.api)",
+    )
+    sim_parser.add_argument(
+        "--backend",
+        default="grow",
+        help="registered backend (grow, multipe, gcnax, hygcn, matraptor, gamma, scaleout)",
+    )
+    _add_config_arguments(sim_parser)
+    sim_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced-size CI configuration (two shrunken datasets)",
+    )
+    sim_parser.add_argument(
+        "--override",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="simulator-config override (repeatable), e.g. runahead_degree=32",
+    )
+    sim_parser.add_argument(
+        "--no-partition",
+        action="store_true",
+        help="use the unpartitioned preprocessing plan (GROW backends)",
+    )
+    sim_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (0 = one per CPU; default 1)"
+    )
+    sim_parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="enable the on-disk result cache under DIR/cache (shared with the suite)",
+    )
+    sim_parser.add_argument(
+        "--force", action="store_true", help="recompute even when a cached run exists"
+    )
+    sim_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical RunResult payloads as JSON instead of a table",
+    )
+    _add_fabric_arguments(sim_parser, default_chips=1)
 
     suite_parser = subparsers.add_parser(
         "suite",
@@ -142,40 +204,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "scaleout",
         help="simulate a multi-chip GROW system (sharding + interconnect)",
     )
+    _add_fabric_arguments(scaleout_parser, default_chips=4)
     scaleout_parser.add_argument(
-        "--chips", type=int, default=4, help="number of chips (default 4)"
-    )
-    scaleout_parser.add_argument(
-        "--topology",
-        choices=("ring", "mesh", "fully-connected"),
-        default="ring",
-        help="inter-chip fabric (default ring)",
-    )
-    scaleout_parser.add_argument(
-        "--link-bandwidth",
-        type=float,
-        default=32.0,
-        metavar="GBPS",
-        help="bandwidth of one inter-chip link in GB/s (default 32)",
-    )
-    scaleout_parser.add_argument(
-        "--link-latency",
-        type=int,
-        default=50,
-        metavar="CYCLES",
-        help="per-hop latency in cycles (default 50)",
-    )
-    scaleout_parser.add_argument(
-        "--exchange",
-        choices=("halo", "reduce", "auto"),
-        default="halo",
-        help="inter-chip exchange pattern (default halo)",
-    )
-    scaleout_parser.add_argument(
-        "--shard-method",
-        choices=("metis", "greedy"),
-        default="metis",
-        help="cluster-to-chip assignment (default metis)",
+        "--json",
+        action="store_true",
+        help="emit the canonical RunResult payloads as JSON instead of tables",
     )
     scaleout_parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes per dataset (0 = one per CPU)"
@@ -229,6 +262,73 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fabric_arguments(parser: argparse.ArgumentParser, default_chips: int) -> None:
+    """The scale-out fabric flags, shared by the scaleout and sim verbs.
+
+    Defaults (except the chip count) come from :class:`repro.api.ScaleOutSpec`
+    so the CLI, the request layer and the engine can never drift apart.
+    """
+    from repro.api import ScaleOutSpec
+    from repro.api.request import EXCHANGE_PATTERNS, SHARD_METHODS, TOPOLOGY_KINDS
+
+    spec = ScaleOutSpec()
+    parser.add_argument(
+        "--chips",
+        type=int,
+        default=default_chips,
+        help=f"number of chips (default {default_chips})",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=TOPOLOGY_KINDS,
+        default=spec.topology,
+        help=f"inter-chip fabric (default {spec.topology})",
+    )
+    parser.add_argument(
+        "--link-bandwidth",
+        type=float,
+        default=spec.link_bandwidth_gbps,
+        metavar="GBPS",
+        help=f"bandwidth of one inter-chip link in GB/s (default {spec.link_bandwidth_gbps:g})",
+    )
+    parser.add_argument(
+        "--link-latency",
+        type=int,
+        default=spec.link_latency_cycles,
+        metavar="CYCLES",
+        help=f"per-hop latency in cycles (default {spec.link_latency_cycles})",
+    )
+    parser.add_argument(
+        "--exchange",
+        choices=EXCHANGE_PATTERNS,
+        default=spec.exchange,
+        help=f"inter-chip exchange pattern (default {spec.exchange})",
+    )
+    parser.add_argument(
+        "--shard-method",
+        choices=SHARD_METHODS,
+        default=spec.shard_method,
+        help=f"cluster-to-chip assignment (default {spec.shard_method})",
+    )
+
+
+def _fabric_from_args(args):
+    """Build a validated ScaleOutSpec from the shared fabric flags."""
+    from repro.api import RequestError, ScaleOutSpec
+
+    try:
+        return ScaleOutSpec(
+            num_chips=args.chips,
+            topology=args.topology,
+            link_bandwidth_gbps=args.link_bandwidth,
+            link_latency_cycles=args.link_latency,
+            exchange=args.exchange,
+            shard_method=args.shard_method,
+        )
+    except RequestError as error:
+        raise SystemExit(str(error)) from error
+
+
 def _validate_experiments(names) -> None:
     from repro.harness.registry import validate_experiment_names
 
@@ -238,15 +338,15 @@ def _validate_experiments(names) -> None:
 
 
 def _config_from_args(args):
+    from repro.api.errors import unknown_name_message
     from repro.graph.datasets import DATASET_NAMES
     from repro.harness import default_config, smoke_config
 
     unknown = [name for name in (args.datasets or ()) if name not in DATASET_NAMES]
     if unknown:
-        raise SystemExit(
-            f"unknown datasets {unknown}; choose from {list(DATASET_NAMES)} "
-            "(note: experiment ids go before --datasets)"
-        )
+        lines = [unknown_name_message("dataset", name, DATASET_NAMES) for name in unknown]
+        lines.append("(note: experiment ids go before --datasets)")
+        raise SystemExit("\n".join(lines))
     overrides = {}
     if args.bandwidth is not None:
         overrides["bandwidth_gbps"] = args.bandwidth
@@ -279,13 +379,101 @@ def _cmd_datasets() -> int:
 
 def _cmd_run(args) -> int:
     from repro.harness import run_experiment
+    from repro.harness.report import json_default
 
     _validate_experiments(args.experiments)
     config = _config_from_args(args)
-    for name in args.experiments:
-        result = run_experiment(name, config=config)
+    results = [run_experiment(name, config=config) for name in args.experiments]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2, default=json_default))
+        return 0
+    for result in results:
         print(result.to_table())
         print()
+    return 0
+
+
+def _parse_override_arguments(pairs) -> dict:
+    """Parse repeated ``--override KEY=VALUE`` flags (values read as JSON,
+    falling back to plain strings: ``runahead_degree=32``, ``enable_runahead=true``,
+    ``hdn_replacement=lru``)."""
+    overrides = {}
+    for pair in pairs or ():
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"--override expects KEY=VALUE, got {pair!r}")
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[key] = value
+    return overrides
+
+
+def _cmd_sim(args) -> int:
+    from repro.api import RequestError, ScaleOutSpec, Session, SimRequest
+    from repro.harness.report import ExperimentResult, json_default
+
+    config = _config_from_args(args)
+    if args.backend == "scaleout":
+        fabric = _fabric_from_args(args)
+    else:
+        fabric = None
+        # Refuse rather than silently drop fabric flags on a chipless run.
+        # (The sim parser's fabric defaults are ScaleOutSpec's defaults.)
+        if _fabric_from_args(args) != ScaleOutSpec():
+            raise SystemExit(
+                "--chips/--topology/--link-bandwidth/--link-latency/--exchange/"
+                f"--shard-method only apply to the 'scaleout' backend, not {args.backend!r}"
+            )
+    if args.no_partition and args.backend not in ("grow", "multipe"):
+        raise SystemExit(
+            f"--no-partition only applies to the 'grow'/'multipe' backends "
+            f"(the {args.backend!r} backend never selects a preprocessing plan)"
+        )
+    overrides = _parse_override_arguments(args.override)
+    try:
+        requests = [
+            SimRequest.from_experiment(
+                config,
+                dataset,
+                backend=args.backend,
+                overrides=overrides,
+                partitioned=not args.no_partition,
+                fabric=fabric,
+            )
+            for dataset in config.datasets
+        ]
+    except RequestError as error:
+        raise SystemExit(str(error)) from error
+
+    session = Session(
+        results_dir=args.results_dir,
+        use_cache=args.results_dir is not None,
+        force=args.force,
+        jobs=args.jobs,
+    )
+    results = session.run_batch(requests)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2, default=json_default))
+        return 0
+    table = ExperimentResult(
+        name=f"sim_{args.backend}",
+        paper_reference="API facade (repro.api)",
+        description=f"API facade runs on the {args.backend!r} backend",
+        columns=["dataset", "backend", "cycles", "dram_mb", "energy_uj", "area_mm2", "status"],
+    )
+    for run in results:
+        table.add_row(
+            dataset=run.request.dataset,
+            backend=run.backend,
+            cycles=run.total_cycles,
+            dram_mb=run.dram_bytes / 1e6,
+            energy_uj=run.energy_nj / 1000.0,
+            area_mm2=run.area_mm2,
+            status=run.status,
+        )
+    print(table.to_table())
     return 0
 
 
@@ -421,12 +609,13 @@ def _cmd_scaleout(args) -> int:
         results_dir=results_dir,
     )
 
-    print(
-        f"simulating a {args.chips}-chip {args.topology} system "
-        f"({args.link_bandwidth:g} GB/s links, {args.link_latency} cycles/hop, "
-        f"exchange={args.exchange}) with {simulator.jobs} job(s); "
-        f"reports -> {results_dir}"
-    )
+    if not args.json:
+        print(
+            f"simulating a {args.chips}-chip {args.topology} system "
+            f"({args.link_bandwidth:g} GB/s links, {args.link_latency} cycles/hop, "
+            f"exchange={args.exchange}) with {simulator.jobs} job(s); "
+            f"reports -> {results_dir}"
+        )
 
     def progress(system) -> None:
         cached = sum(1 for s in system.chip_statuses if s == "cached")
@@ -438,8 +627,26 @@ def _cmd_scaleout(args) -> int:
             f"({ran} chip(s) ran, {cached} cached)"
         )
 
-    results = simulator.run_all(progress=progress)
+    results = simulator.run_all(progress=None if args.json else progress)
     simulator.write_reports(results)
+    if args.json:
+        # The canonical API payloads: each system wrapped exactly as the
+        # facade's 'scaleout' backend would return it.
+        from repro.api import SimRequest, scaleout_run_result
+        from repro.harness.report import json_default
+
+        fabric = _fabric_from_args(args)
+        payloads = [
+            scaleout_run_result(
+                SimRequest.from_experiment(
+                    simulator.config, system.dataset, backend="scaleout", fabric=fabric
+                ),
+                system,
+            ).to_dict()
+            for system in results
+        ]
+        print(json.dumps(payloads, indent=2, default=json_default))
+        return 0
     print()
     print(simulator.report(results).to_table())
     return 0
@@ -493,6 +700,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_datasets()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sim":
+        return _cmd_sim(args)
     if args.command == "suite":
         return _cmd_suite(args)
     if args.command == "dse":

@@ -1,0 +1,39 @@
+"""Request validation errors and did-you-mean name suggestions.
+
+The generic difflib helper here is the one the experiment registry's
+``suggest_experiments`` popularised; the API layer reuses it for unknown
+backend, dataset and topology names so every layer of the system produces
+the same style of actionable error message.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable
+
+
+class RequestError(ValueError):
+    """An invalid :class:`~repro.api.request.SimRequest` (unknown name, bad
+    range, or an inconsistent field combination)."""
+
+
+class UnknownBackendError(RequestError, KeyError):
+    """A backend name with no registry entry."""
+
+    def __str__(self) -> str:  # KeyError would repr() the message otherwise
+        return self.args[0] if self.args else ""
+
+
+def suggest_names(name: str, known: Iterable[str], limit: int = 3) -> list[str]:
+    """Known names close to ``name`` (for did-you-mean error messages)."""
+    return difflib.get_close_matches(name, sorted(known), n=limit, cutoff=0.4)
+
+
+def unknown_name_message(kind: str, name: str, known: Iterable[str]) -> str:
+    """One-line ``unknown <kind> 'x'; did you mean ...?`` message."""
+    known = sorted(known)
+    message = f"unknown {kind} {name!r}"
+    close = suggest_names(name, known)
+    if close:
+        message += f"; did you mean {', '.join(close)}?"
+    return f"{message} (choose from {known})"

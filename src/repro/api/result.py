@@ -1,0 +1,119 @@
+"""The uniform result contract: every backend returns a :class:`RunResult`.
+
+Whatever the backend — the single-chip GROW simulator, a baseline
+accelerator, the multi-PE scaling model or a whole multi-chip system — a run
+produces the same envelope: the request that was executed, a
+ran/cached status, the four canonical metrics (``cycles``, ``dram_bytes``,
+``energy_nj``, ``area_mm2``), and a backend-specific ``detail`` payload
+holding the full underlying result (an
+:class:`~repro.accelerators.base.AcceleratorResult` dict for accelerator
+backends, a :class:`~repro.scaleout.engine.ScaleOutResult` dict for
+``scaleout``, per-layer scaling records for ``multipe``).
+
+``to_dict`` / ``from_dict`` round-trip through JSON, which is how results
+travel through worker processes, the in-process memo and the on-disk cache —
+and what ``python -m repro sim --json`` (and ``scaleout --json``) emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.api.request import SimRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.accelerators.base import AcceleratorResult
+
+#: Canonical metric names every backend fills, in report-column order
+#: (mirrors ``repro.dse.objectives.METRIC_NAMES``).
+METRIC_NAMES = ("cycles", "dram_bytes", "energy_nj", "area_mm2")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`~repro.api.session.Session.run`.
+
+    Attributes:
+        request: the canonicalised request that produced this result.
+        status: ``"ran"`` (freshly simulated) or ``"cached"`` (served from
+            the in-process memo or the on-disk cache).
+        seconds: wall-clock simulation time (0.0 for cache hits).
+        metrics: the canonical metric dict (see :data:`METRIC_NAMES`).
+        detail: backend-specific payload (JSON-safe).
+    """
+
+    request: SimRequest
+    status: str = "ran"
+    seconds: float = 0.0
+    metrics: dict[str, float] = field(default_factory=dict)
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    # -- canonical metrics -------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return self.request.backend
+
+    @property
+    def total_cycles(self) -> float:
+        return float(self.metrics.get("cycles", 0.0))
+
+    @property
+    def dram_bytes(self) -> int:
+        return int(self.metrics.get("dram_bytes", 0))
+
+    @property
+    def energy_nj(self) -> float:
+        return float(self.metrics.get("energy_nj", 0.0))
+
+    @property
+    def area_mm2(self) -> float:
+        return float(self.metrics.get("area_mm2", 0.0))
+
+    # -- backend payload accessors ----------------------------------------
+
+    def accelerator_result(self) -> "AcceleratorResult":
+        """The full per-phase accelerator result (accelerator backends)."""
+        from repro.accelerators.base import AcceleratorResult
+
+        payload = self.detail.get("result")
+        if payload is None:
+            raise KeyError(
+                f"backend {self.backend!r} result carries no accelerator payload "
+                f"(detail keys: {sorted(self.detail)})"
+            )
+        return AcceleratorResult.from_dict(payload)
+
+    def system_dict(self) -> dict[str, Any]:
+        """The scale-out system payload (``scaleout`` backend)."""
+        payload = self.detail.get("system")
+        if payload is None:
+            raise KeyError(
+                f"backend {self.backend!r} result carries no system payload "
+                f"(detail keys: {sorted(self.detail)})"
+            )
+        return payload
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "request": self.request.to_dict(),
+            "backend": self.backend,
+            "status": self.status,
+            "seconds": float(self.seconds),
+            "metrics": {k: v for k, v in self.metrics.items()},
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            request=SimRequest.from_dict(data["request"]),
+            status=str(data.get("status", "ran")),
+            seconds=float(data.get("seconds", 0.0)),
+            metrics=dict(data.get("metrics", {})),
+            detail=dict(data.get("detail", {})),
+        )

@@ -1,0 +1,276 @@
+"""The session: one ``run(request) -> RunResult`` entry point for everything.
+
+:class:`Session` is the facade every consumer in the repository goes
+through — the experiment harness, the DSE objective evaluation, the
+scale-out engine's per-chip runs and the ``sim``/``scaleout`` CLI verbs.
+It layers three levels of reuse under a single dispatch path:
+
+1. an **in-process memo** keyed by the request's canonical cache key, so
+   repeated identical runs inside one process (sweeps, suite experiments
+   sharing a baseline, the scale-out 1-chip reference) never re-simulate;
+2. the harness **on-disk** :class:`~repro.harness.cache.ResultCache`
+   (when the session is given one, or a ``results_dir`` to build one in),
+   keyed by the same canonical request plus the source-tree version, so
+   re-runs across processes are incremental exactly like suite re-runs;
+3. a **process-pool fan-out** in :meth:`Session.run_batch`, mirroring the
+   suite/DSE/scale-out executors: workers rebuild the per-process dataset
+   and preprocessing-plan memos deterministically, results travel as
+   JSON-normalised payloads, and serial, parallel and cached batches are
+   therefore identical.
+
+Because every result is normalised through its JSON form before it is
+memoised, stored or returned, a fresh run, a memo hit, a disk hit and a
+worker-process run of the same request all yield byte-identical payloads.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.api.backends import get_backend
+from repro.api.request import SimRequest
+from repro.api.result import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.cache import ResultCache
+
+#: Process-wide memo of run payloads, keyed by the request's cache key.
+#: Consulted even by cache-disabled sessions (mirroring the scale-out
+#: engine's historical chip memo); cleared via :func:`clear_memo`.
+_RUN_MEMO: dict[str, dict] = {}
+
+#: Memo entry bound: payloads carry full per-phase detail, so an unbounded
+#: memo would grow with every distinct request for the life of the process
+#: (e.g. a long DSE search).  Oldest-first eviction keeps the hot recent
+#: working set — sweeps, shared baselines, the 1-chip reference — resident.
+_MEMO_LIMIT = 4096
+
+
+def clear_memo() -> None:
+    """Drop every memoised run payload (tests that vary global state)."""
+    _RUN_MEMO.clear()
+
+
+def _memoise(key: str, payload: dict) -> None:
+    """Insert one payload, evicting oldest entries past :data:`_MEMO_LIMIT`."""
+    _RUN_MEMO.pop(key, None)
+    while len(_RUN_MEMO) >= _MEMO_LIMIT:
+        _RUN_MEMO.pop(next(iter(_RUN_MEMO)))
+    _RUN_MEMO[key] = payload
+
+
+def _normalise(payload: dict) -> dict:
+    """Round-trip a payload through JSON so fresh, memoised, cached and
+    worker-produced results are byte-identical (numpy scalars included)."""
+    from repro.harness.report import json_default
+
+    return json.loads(json.dumps(payload, default=json_default))
+
+
+def _execute_request(request_dict: dict) -> dict:
+    """Run one request in a worker; module-level so it pickles across.
+
+    Workers rebuild the (memoised) bundles and shard plans from the request,
+    which is deterministic — the same mechanism the suite, DSE and scale-out
+    executors rely on.  They run detached (``session=None``): composite
+    backends fall back to serial, memo-only execution, and the parent
+    session persists the whole-run payload on their behalf.
+    """
+    request = SimRequest.from_dict(request_dict)
+    start = time.perf_counter()
+    result = get_backend(request.backend).run(request, session=None)
+    result.seconds = time.perf_counter() - start
+    return _normalise(result.to_dict())
+
+
+class Session:
+    """The one programmatic entry point for running simulations.
+
+    Args:
+        cache: explicit on-disk result cache to read/write.
+        results_dir: build a :class:`ResultCache` under
+            ``results_dir / "cache"`` (shared with the suite) when no
+            explicit ``cache`` is given and ``use_cache`` is True.
+        use_cache: disable to never read or write on-disk entries.
+        force: recompute even on memo/cache hits (fresh results re-stored).
+        jobs: worker processes for :meth:`run_batch`; ``1`` runs serially
+            in-process, ``0`` uses one worker per CPU.
+        memoize: disable to skip the in-process memo as well.
+    """
+
+    def __init__(
+        self,
+        cache: "ResultCache | None" = None,
+        results_dir: str | Path | None = None,
+        use_cache: bool = True,
+        force: bool = False,
+        jobs: int = 1,
+        memoize: bool = True,
+    ):
+        self.use_cache = use_cache
+        self.force = force
+        self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
+        self.memoize = memoize
+        if cache is not None:
+            self.cache = cache
+        elif use_cache and results_dir is not None:
+            from repro.harness.cache import ResultCache
+
+            self.cache = ResultCache(Path(results_dir) / "cache")
+        else:
+            self.cache = None
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def _entry_name(self, request: SimRequest) -> str:
+        """On-disk entry name: readable prefix plus the canonical key."""
+        return f"api-{request.backend}-{request.dataset}-{request.cache_key()}"
+
+    def _lookup(self, request: SimRequest) -> RunResult | None:
+        """Memo first, then disk; misses (or ``force``) return ``None``."""
+        if self.force:
+            return None
+        key = request.cache_key()
+        payload = _RUN_MEMO.get(key) if self.memoize else None
+        if payload is None and self.cache is not None and self.use_cache:
+            entry = self.cache.get(self._entry_name(request), request.experiment_config())
+            if entry is not None:
+                payload = entry.metadata.get("run_result") or None
+                if payload is not None and self.memoize:
+                    _memoise(key, dict(payload))
+        if payload is None:
+            return None
+        # Deep copy: the payload's nested dicts live in the process-wide
+        # memo (or the cache entry); a caller mutating a returned detail
+        # dict must not poison later hits of the same request.
+        result = RunResult.from_dict(copy.deepcopy(payload))
+        result.status = "cached"
+        result.seconds = 0.0
+        return result
+
+    def _admit(self, request: SimRequest, payload: dict) -> RunResult:
+        """Memoise and persist a freshly produced (normalised) payload."""
+        if self.memoize:
+            _memoise(request.cache_key(), copy.deepcopy(payload))
+        if self.cache is not None and self.use_cache:
+            self._store(request, payload)
+        return RunResult.from_dict(payload)
+
+    def _store(self, request: SimRequest, payload: dict) -> None:
+        from repro.harness.report import ExperimentResult
+
+        entry_name = self._entry_name(request)
+        entry = ExperimentResult(
+            name=entry_name,
+            paper_reference="API session run",
+            description=f"{request.backend} run of {request.dataset}",
+            columns=["backend", "dataset", "cycles"],
+            rows=[
+                {
+                    "backend": request.backend,
+                    "dataset": request.dataset,
+                    "cycles": payload.get("metrics", {}).get("cycles", 0.0),
+                }
+            ],
+            metadata={"run_result": dict(payload)},
+        )
+        self.cache.put(
+            entry_name,
+            request.experiment_config(),
+            entry,
+            payload.get("seconds", 0.0),
+        )
+
+    # -- entry points ------------------------------------------------------
+
+    def _execute_in_process(self, request: SimRequest) -> dict:
+        """Run one request inline, handing the backend this session so
+        composite backends (``scaleout``) inherit its jobs/cache wiring."""
+        start = time.perf_counter()
+        result = get_backend(request.backend).run(request, session=self)
+        result.seconds = time.perf_counter() - start
+        return _normalise(result.to_dict())
+
+    def run(self, request: SimRequest) -> RunResult:
+        """Execute one request (memo -> disk cache -> backend dispatch)."""
+        return self.run_batch([request])[0]
+
+    def run_batch(
+        self,
+        requests: Sequence[SimRequest],
+        progress: Callable[[RunResult], None] | None = None,
+    ) -> list[RunResult]:
+        """Execute many requests, fanning misses out across worker processes.
+
+        Results come back in request order.  Requests whose canonical key
+        repeats within the batch are simulated once (later copies report
+        ``cached``).  With ``jobs > 1`` the misses run in a
+        ``ProcessPoolExecutor``; serial and parallel batches produce
+        identical results (workers run detached — composite backends
+        execute serially inside them, and only the parent writes the disk
+        cache).  ``progress`` (when given) is called once per request, in
+        order, as results are finalised.
+        """
+        results: list[RunResult | None] = [None] * len(requests)
+        to_run: list[int] = []
+        first_index: dict[str, int] = {}
+        duplicate_of: dict[int, int] = {}
+        for index, request in enumerate(requests):
+            hit = self._lookup(request)
+            if hit is not None:
+                results[index] = hit
+                continue
+            key = request.cache_key()
+            if key in first_index and not self.force:
+                duplicate_of[index] = first_index[key]
+            else:
+                first_index[key] = index
+                to_run.append(index)
+
+        if self.jobs > 1 and len(to_run) > 1:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(to_run))) as pool:
+                futures = [
+                    pool.submit(_execute_request, requests[index].to_dict())
+                    for index in to_run
+                ]
+                payloads = [future.result() for future in futures]
+        else:
+            payloads = [self._execute_in_process(requests[index]) for index in to_run]
+
+        fresh: dict[int, dict] = {}
+        for index, payload in zip(to_run, payloads):
+            fresh[index] = payload
+            results[index] = self._admit(requests[index], payload)
+        for index, source in duplicate_of.items():
+            duplicate = RunResult.from_dict(copy.deepcopy(fresh[source]))
+            duplicate.status = "cached"
+            duplicate.seconds = 0.0
+            results[index] = duplicate
+
+        finalised = [result for result in results if result is not None]
+        if progress is not None:
+            for result in finalised:
+                progress(result)
+        return finalised
+
+
+_DEFAULT_SESSION: Session | None = None
+
+
+def get_session() -> Session:
+    """The shared in-process session (memo only, no disk cache).
+
+    This is what the harness experiments, the sweep evaluators and the DSE
+    objective layer run through, so any two of them asking for the same
+    simulation pay for it once per process.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session(use_cache=False)
+    return _DEFAULT_SESSION

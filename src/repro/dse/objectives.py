@@ -1,7 +1,10 @@
 """Candidate evaluation: metrics, objectives and constraint filtering.
 
 This module is the bridge between a design-space candidate (a plain dict of
-parameter values, see :mod:`repro.dse.space`) and the simulators.  It
+parameter values, see :mod:`repro.dse.space`) and the simulators — reached
+through the unified API facade (:mod:`repro.api`), whose shared session
+memoises runs so overlapping sweep points and candidates are evaluated once
+per process.  It
 
 * binds candidate keys onto configurations — keys naming
   :class:`~repro.harness.config.ExperimentConfig` fields (``num_macs``,
@@ -25,7 +28,6 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 from repro.accelerators.base import merge_sram_events
-from repro.accelerators.gcnax import GCNAXSimulator
 from repro.core.accelerator import GrowSimulator
 from repro.core.preprocess import PreprocessPlan
 from repro.energy.area import GCNAX_AREA_MM2_40NM, grow_area_breakdown, scale_area
@@ -38,6 +40,23 @@ METRIC_NAMES = ("cycles", "dram_bytes", "energy_nj", "area_mm2")
 
 
 # -- sweep evaluators (the Figure 24/25 building blocks) -------------------
+#
+# Single-point evaluations route through the API facade via the same
+# ``harness.experiments.common.simulate`` bridge the figure experiments use:
+# the shared session memoises runs per process, so a sweep that revisits a
+# point another experiment already paid for is free.  Hand-built bundles or
+# plans — anything not reconstructible from ``(dataset, config)`` — fall
+# back to direct simulation so the historical contract of these evaluators
+# is preserved.  Imports happen at call time: ``repro.api`` and the
+# experiment helpers bind onto harness configs, so module-level imports
+# would create cycles.
+
+
+def _is_canonical_bundle(config: ExperimentConfig, bundle: WorkloadBundle) -> bool:
+    """Whether ``bundle`` is exactly what ``get_bundle`` builds for config."""
+    from repro.graph.datasets import DATASET_NAMES
+
+    return bundle.name in DATASET_NAMES and get_bundle(bundle.name, config) is bundle
 
 
 def grow_cycles(
@@ -47,15 +66,31 @@ def grow_cycles(
     **grow_overrides,
 ) -> float:
     """Total GROW cycles for one bundle under config overrides."""
-    simulator = GrowSimulator(config.grow_config(**grow_overrides))
-    result = simulator.run_model(bundle.workloads, plan if plan is not None else bundle.plan)
-    return result.total_cycles
+    canonical_plan = plan is None or plan is bundle.plan or plan is bundle.plan_unpartitioned
+    if not canonical_plan or not _is_canonical_bundle(config, bundle):
+        # A hand-built plan or bundle is not describable as a request.
+        simulator = GrowSimulator(config.grow_config(**grow_overrides))
+        return simulator.run_model(
+            bundle.workloads, plan if plan is not None else bundle.plan
+        ).total_cycles
+    from repro.harness.experiments.common import simulate
+
+    partitioned = plan is not bundle.plan_unpartitioned
+    return simulate(
+        config, bundle.name, "grow", partitioned=partitioned, **grow_overrides
+    ).total_cycles
 
 
 def gcnax_cycles(config: ExperimentConfig, bundle: WorkloadBundle, **gcnax_overrides) -> float:
     """Total GCNAX cycles for one bundle under config overrides."""
-    simulator = GCNAXSimulator(config.gcnax_config(**gcnax_overrides))
-    return simulator.run_model(bundle.workloads).total_cycles
+    if not _is_canonical_bundle(config, bundle):
+        from repro.accelerators.gcnax import GCNAXSimulator
+
+        simulator = GCNAXSimulator(config.gcnax_config(**gcnax_overrides))
+        return simulator.run_model(bundle.workloads).total_cycles
+    from repro.harness.experiments.common import simulate
+
+    return simulate(config, bundle.name, "gcnax", **gcnax_overrides).total_cycles
 
 
 def bandwidth_sweep_cycles(
@@ -241,13 +276,14 @@ def candidate_metrics(
     runahead degree below 1) — the engine records those as failed
     evaluations.
     """
+    from repro.harness.experiments.common import simulate
+
     bound, overrides = bind_candidate(config, candidate)
     if accelerator == "grow":
-        grow_config = bound.grow_config(**_provision_ldn(overrides))
-        simulator = GrowSimulator(grow_config)
+        grow_overrides = _provision_ldn(overrides)
+        grow_config = bound.grow_config(**grow_overrides)
         results = [
-            simulator.run_model(bundle.workloads, bundle.plan)
-            for bundle in (get_bundle(name, bound) for name in bound.datasets)
+            simulate(bound, name, "grow", **grow_overrides) for name in bound.datasets
         ]
         area_mm2 = grow_area_breakdown(
             num_macs=grow_config.arch.num_macs,
@@ -257,9 +293,8 @@ def candidate_metrics(
             output_buffer_bytes=grow_config.output_buffer_bytes,
         ).total_mm2
     elif accelerator == "gcnax":
-        simulator = GCNAXSimulator(bound.gcnax_config(**overrides))
         results = [
-            simulator.run_model(get_bundle(name, bound).workloads) for name in bound.datasets
+            simulate(bound, name, "gcnax", **overrides) for name in bound.datasets
         ]
         # GCNAX's area is the published total (Table IV), scaled to 65 nm so
         # cross-accelerator frontiers compare like against like.
@@ -300,36 +335,38 @@ def _scaleout_candidate_metrics(
     ``cycles``/``dram_bytes``/``energy_nj`` sum the system results over the
     configuration's datasets (interconnect traffic is priced inside the
     engine's energy, not counted as DRAM); ``area_mm2`` is the chip area
-    times the chip count.
+    times the chip count.  Each per-dataset system run routes through the
+    API facade's ``scaleout`` backend (the DSE engine caches whole candidate
+    evaluations; the facade's memo additionally shares per-chip runs across
+    candidates that only differ in link parameters).
     """
-    # Imported at call time: repro.scaleout sits beside repro.dse at the top
-    # of the stack, and only scale-out searches need it.
-    from repro.scaleout import ChipTopology, ScaleOutSimulator
+    from repro.api import ScaleOutSpec, SimRequest, get_session
 
     fabric = {key: overrides[key] for key in _SCALEOUT_KEYS if key in overrides}
     grow_overrides = _provision_ldn(
         {k: v for k, v in overrides.items() if k not in _SCALEOUT_KEYS}
     )
-    topology = ChipTopology(
+    spec = ScaleOutSpec(
         num_chips=int(fabric.get("num_chips", 1)),
-        kind=fabric.get("topology", "ring"),
+        topology=fabric.get("topology", "ring"),
         link_bandwidth_gbps=float(fabric.get("link_bandwidth_gbps", 32.0)),
         link_latency_cycles=int(fabric.get("link_latency_cycles", 50)),
-    )
-    simulator = ScaleOutSimulator(
-        config=bound,
-        topology=topology,
         exchange=fabric.get("exchange", "halo"),
-        grow_overrides=grow_overrides,
-        use_cache=False,  # the DSE engine caches whole candidate evaluations
-        results_dir=None,
     )
-    systems = simulator.run_all()
+    session = get_session()
+    runs = [
+        session.run(
+            SimRequest.from_experiment(
+                bound, name, backend="scaleout", overrides=grow_overrides, fabric=spec
+            )
+        )
+        for name in bound.datasets
+    ]
     return {
-        "cycles": float(sum(s.system_cycles for s in systems)),
-        "dram_bytes": float(sum(s.dram_bytes for s in systems)),
-        "energy_nj": float(sum(s.energy_nj for s in systems)),
-        "area_mm2": float(systems[0].area_mm2 if systems else 0.0),
+        "cycles": float(sum(r.total_cycles for r in runs)),
+        "dram_bytes": float(sum(r.dram_bytes for r in runs)),
+        "energy_nj": float(sum(r.energy_nj for r in runs)),
+        "area_mm2": float(runs[0].area_mm2 if runs else 0.0),
     }
 
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from repro.accelerators.base import AcceleratorConfig
 from repro.accelerators.gamma import GAMMAConfig
 from repro.accelerators.gcnax import GCNAXConfig
+from repro.accelerators.hygcn import HyGCNConfig
 from repro.accelerators.matraptor import MatRaptorConfig
 from repro.core.config import GrowConfig
 from repro.graph.datasets import DATASET_NAMES
@@ -67,6 +68,10 @@ class ExperimentConfig:
             tile_cols=overrides.pop("tile_cols", self.gcnax_tile),
             **overrides,
         )
+
+    def hygcn_config(self, **overrides) -> HyGCNConfig:
+        """HyGCN configuration bound to this experiment's architecture."""
+        return HyGCNConfig(arch=self.arch, **overrides)
 
     def matraptor_config(self, **overrides) -> MatRaptorConfig:
         """MatRaptor configuration bound to this experiment's architecture."""

@@ -20,6 +20,7 @@ from repro.gcn.layer import build_model_for_dataset
 from repro.graph.datasets import load_dataset
 from repro.graph.generators import erdos_renyi_graph
 from repro.harness.config import ExperimentConfig
+from repro.harness.experiments.common import gcnax_results, grow_results
 from repro.harness.registry import register
 from repro.harness.report import ExperimentResult
 from repro.harness.workloads import get_bundle
@@ -37,13 +38,9 @@ def disc_replacement_policy(config: ExperimentConfig) -> ExperimentResult:
     )
     for name in config.datasets:
         bundle = get_bundle(name, config)
-        gcnax = GCNAXSimulator(config.gcnax_config()).run_model(bundle.workloads)
-        pinned = GrowSimulator(config.grow_config(hdn_replacement="pinned")).run_model(
-            bundle.workloads, bundle.plan
-        )
-        lru = GrowSimulator(config.grow_config(hdn_replacement="lru")).run_model(
-            bundle.workloads, bundle.plan
-        )
+        gcnax = gcnax_results(config, bundle)
+        pinned = grow_results(config, bundle, hdn_replacement="pinned")
+        lru = grow_results(config, bundle, hdn_replacement="lru")
         result.add_row(
             dataset=name,
             hit_rate_pinned=pinned.extra["hdn_hit_rate"],

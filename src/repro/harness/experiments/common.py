@@ -1,13 +1,45 @@
-"""Helpers shared by every experiment module: simulator wrappers, geomean."""
+"""Helpers shared by every experiment module: simulator wrappers, geomean.
+
+Since the API facade landed, these wrappers no longer construct simulators
+directly: they build a :class:`~repro.api.request.SimRequest` and run it
+through the shared :func:`~repro.api.session.get_session` session.  Every
+suite experiment therefore goes through the same dispatch, memoisation and
+result contract as the DSE and scale-out layers — and two experiments that
+need the same simulation (e.g. the GCNAX baseline of Figures 18, 19, 20 and
+26) pay for it once per process.
+
+The API import happens at call time: ``repro.api`` binds onto harness
+configurations, so a module-level import here would create a cycle whenever
+the harness package is imported first.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.accelerators.gcnax import GCNAXSimulator
-from repro.core.accelerator import GrowSimulator
 from repro.harness.config import ExperimentConfig
 from repro.harness.workloads import WorkloadBundle
+
+
+def simulate(
+    config: ExperimentConfig,
+    dataset: str,
+    backend: str,
+    partitioned: bool = True,
+    **overrides,
+):
+    """Run one dataset on one backend through the shared API session.
+
+    Returns the full :class:`~repro.accelerators.base.AcceleratorResult`
+    (rebuilt from the run's detail payload, so cached and fresh runs are
+    byte-identical).
+    """
+    from repro.api import SimRequest, get_session
+
+    request = SimRequest.from_experiment(
+        config, dataset, backend=backend, overrides=overrides, partitioned=partitioned
+    )
+    return get_session().run(request).accelerator_result()
 
 
 def grow_results(
@@ -22,14 +54,17 @@ def grow_results(
     ablations can disable individual optimisations (e.g.
     ``enable_hdn_cache=False``).
     """
-    simulator = GrowSimulator(config.grow_config(**overrides))
-    plan = bundle.plan if partitioned else bundle.plan_unpartitioned
-    return simulator.run_model(bundle.workloads, plan)
+    return simulate(config, bundle.name, "grow", partitioned=partitioned, **overrides)
 
 
 def gcnax_results(config: ExperimentConfig, bundle: WorkloadBundle):
     """Run the GCNAX baseline simulator on one bundle."""
-    return GCNAXSimulator(config.gcnax_config()).run_model(bundle.workloads)
+    return simulate(config, bundle.name, "gcnax")
+
+
+def baseline_results(config: ExperimentConfig, bundle: WorkloadBundle, backend: str):
+    """Run one of the baseline accelerators (``hygcn``/``matraptor``/``gamma``)."""
+    return simulate(config, bundle.name, backend)
 
 
 def geomean(values: list[float]) -> float:

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from repro.accelerators.gamma import GAMMASimulator
-from repro.accelerators.matraptor import MatRaptorSimulator
 from repro.harness.config import ExperimentConfig
-from repro.harness.experiments.common import gcnax_results, geomean, grow_results
+from repro.harness.experiments.common import (
+    baseline_results,
+    gcnax_results,
+    geomean,
+    grow_results,
+)
 from repro.harness.registry import register
 from repro.harness.report import ExperimentResult
 from repro.harness.workloads import get_bundle
@@ -25,8 +28,8 @@ def fig26_spsp_comparison(config: ExperimentConfig) -> ExperimentResult:
     for name in config.datasets:
         bundle = get_bundle(name, config)
         gcnax = gcnax_results(config, bundle)
-        matraptor = MatRaptorSimulator(config.matraptor_config()).run_model(bundle.workloads)
-        gamma = GAMMASimulator(config.gamma_config()).run_model(bundle.workloads)
+        matraptor = baseline_results(config, bundle, "matraptor")
+        gamma = baseline_results(config, bundle, "gamma")
         grow = grow_results(config, bundle, partitioned=True)
         base = gcnax.total_cycles or 1.0
         result.add_row(

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.core.multi_pe import MultiPEGrowSimulator
 from repro.harness.config import ExperimentConfig
 from repro.harness.registry import register
 from repro.harness.report import ExperimentResult
@@ -13,6 +12,8 @@ from repro.harness.workloads import get_bundle
 @register("fig24_pe_scaling")
 def fig24_pe_scaling(config: ExperimentConfig) -> ExperimentResult:
     """Aggregation throughput as PEs (and bandwidth) scale from 1 to 16."""
+    from repro.api import SimRequest, get_session
+
     pe_counts = (1, 2, 4, 8, 16)
     result = ExperimentResult(
         name="fig24_pe_scaling",
@@ -20,10 +21,18 @@ def fig24_pe_scaling(config: ExperimentConfig) -> ExperimentResult:
         description="Aggregation throughput normalised to a single PE (proportional bandwidth)",
         columns=["dataset"] + [f"pe_{p}" for p in pe_counts],
     )
+    session = get_session()
     for name in config.datasets:
-        bundle = get_bundle(name, config)
-        simulator = MultiPEGrowSimulator(config.grow_config())
-        sweep = simulator.scaling_sweep(bundle.workloads[0], pe_counts=pe_counts, plan=bundle.plan)
+        sweep = {}
+        for num_pes in pe_counts:
+            run = session.run(
+                SimRequest.from_experiment(
+                    config, name, backend="multipe", overrides={"num_pes": num_pes}
+                )
+            )
+            # The figure plots the first layer's aggregation phase, the one
+            # the paper's scalability study measures.
+            sweep[num_pes] = run.detail["layers"][0]["throughput_vs_single"]
         result.add_row(dataset=name, **{f"pe_{p}": sweep[p] for p in pe_counts})
     return result
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import difflib
 from typing import Callable, Iterable
 
 from repro.harness.config import ExperimentConfig, default_config
@@ -36,8 +35,14 @@ def list_experiments() -> list[str]:
 
 
 def suggest_experiments(name: str, limit: int = 3) -> list[str]:
-    """Registered names close to ``name`` (for did-you-mean error messages)."""
-    return difflib.get_close_matches(name, list_experiments(), n=limit, cutoff=0.4)
+    """Registered names close to ``name`` (for did-you-mean error messages).
+
+    Delegates to the shared difflib helper in :mod:`repro.api.errors`, the
+    same one the API facade uses for unknown backend and dataset names.
+    """
+    from repro.api.errors import suggest_names
+
+    return suggest_names(name, list_experiments(), limit)
 
 
 def _unknown_name_message(unknown: Iterable[str]) -> str:

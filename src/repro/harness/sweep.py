@@ -1,10 +1,11 @@
 """Parameter-sweep helpers shared by the sensitivity experiments.
 
 The evaluators themselves live in :mod:`repro.dse.objectives` — the
-design-space exploration subsystem owns single-point candidate evaluation —
-and this module re-exports them so the historical import paths
-(``from repro.harness.sweep import grow_cycles``) keep working for the
-Figure 24/25 experiments and any external callers.
+design-space exploration subsystem owns single-point candidate evaluation,
+and since the API facade landed every evaluation routes through the shared
+:mod:`repro.api` session — and this module re-exports them so the
+historical import paths (``from repro.harness.sweep import grow_cycles``)
+keep working for the Figure 24/25 experiments and any external callers.
 
 The delegation imports at call time: ``repro.dse`` imports harness
 submodules for configs and workloads, so a module-level import here would

@@ -5,11 +5,12 @@ scaleout`` and the ``scaling_out`` experiment family.  For one dataset it
 
 1. builds the workload bundle and shards the preprocessing plan's clusters
    across the topology's chips (:mod:`repro.scaleout.shard`),
-2. runs one single-chip :class:`~repro.core.accelerator.GrowSimulator` per
-   non-empty shard over that chip's row-sliced workloads — serially, or
-   fanned out across a ``ProcessPoolExecutor`` exactly like the experiment
-   suite — with every per-chip run cached through the harness
-   :class:`~repro.harness.cache.ResultCache`,
+2. runs one single-chip GROW simulation per non-empty shard over that
+   chip's row-sliced workloads, each expressed as a chip-sliced ``grow``
+   :class:`~repro.api.request.SimRequest` and executed through an API
+   :class:`~repro.api.session.Session` — which supplies the process-pool
+   fan-out, the in-process memo and the on-disk
+   :class:`~repro.harness.cache.ResultCache` wiring,
 3. prices the per-layer halo/reduction exchanges on the interconnect
    (:mod:`repro.scaleout.interconnect`), and
 4. composes per-layer system cycles: chips run between per-layer barriers,
@@ -18,10 +19,13 @@ scaleout`` and the ``scaling_out`` experiment family.  For one dataset it
    overlap-then-expose shape as runahead over DRAM.
 
 Because per-chip runs are deterministic functions of ``(dataset, config,
-shard, chip)`` and every fresh result is normalised through its JSON form
-before composition, serial, parallel and cached re-runs of the same system
-produce identical :class:`ScaleOutResult` objects.  A one-chip system
-degenerates to exactly the single-chip simulator's cycles and DRAM traffic.
+shard, chip)`` and the session normalises every fresh result through its
+JSON form before composition, serial, parallel and cached re-runs of the
+same system produce identical :class:`ScaleOutResult` objects.  Chip
+requests deliberately omit the fabric's link parameters, so chip-count/
+topology/bandwidth sweeps and the 1-chip baseline share every per-chip
+cache entry.  A one-chip system degenerates to exactly the single-chip
+simulator's cycles and DRAM traffic.
 
 Modeling note — halo rows touch *two* channels, deliberately: the exchange
 moves each remote XW row across the fabric once (link cycles + link
@@ -36,26 +40,23 @@ rounds away.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
-import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.accelerators.base import AcceleratorResult, merge_sram_events
-from repro.core.accelerator import GrowSimulator
+from repro.api import ChipSpec, Session, SimRequest
+from repro.api.session import clear_memo as _clear_api_memo
 from repro.energy.area import grow_area_breakdown
 from repro.energy.energy_model import estimate_energy
-from repro.harness.cache import ResultCache, config_fingerprint
+from repro.harness.cache import ResultCache
 from repro.harness.config import ExperimentConfig, default_config
-from repro.harness.report import ExperimentResult, json_default
+from repro.harness.report import ExperimentResult
 from repro.harness.suite import DEFAULT_RESULTS_DIR
 from repro.harness.workloads import get_bundle
 from repro.scaleout.interconnect import InterconnectModel
-from repro.scaleout.shard import ShardPlan, build_shard_plan, chip_workloads
+from repro.scaleout.shard import ShardPlan, build_shard_plan
 from repro.scaleout.topology import ChipTopology
 
 #: Short topology tags used in report/file names.
@@ -63,14 +64,6 @@ _KIND_TAGS = {"ring": "ring", "mesh": "mesh", "fully-connected": "fc"}
 
 #: Per-process memo of shard plans (mirrors the workload-bundle memo).
 _SHARD_CACHE: dict[tuple, ShardPlan] = {}
-
-#: Per-process memo of per-chip result dicts, keyed by (cache entry name,
-#: config fingerprint).  Chip runs are independent of the fabric's link
-#: parameters and of the requested system size's *other* chips, so sweeps
-#: (chip counts, topologies, link bandwidths) and the 1-chip baseline reuse
-#: them without re-simulating — even when the on-disk cache is disabled, as
-#: it is inside suite experiments.
-_CHIP_MEMO: dict[tuple, dict] = {}
 
 
 def _shard_cache_key(
@@ -105,41 +98,12 @@ def clear_shard_cache() -> None:
 
 
 def clear_chip_memo() -> None:
-    """Drop memoised per-chip results (used by tests that vary global state)."""
-    _CHIP_MEMO.clear()
+    """Drop memoised per-chip results (used by tests that vary global state).
 
-
-def _simulate_chip(
-    dataset: str,
-    config: ExperimentConfig,
-    num_chips: int,
-    shard_method: str,
-    chip_id: int,
-    grow_overrides: dict,
-) -> tuple[dict, float]:
-    """Run one chip's GROW simulation; module-level so it pickles to workers.
-
-    Workers rebuild the (memoised) bundle and shard plan from the
-    configuration, which is deterministic — the same mechanism the suite
-    relies on for its parallel fan-out.
+    Per-chip runs are memoised by the API session layer since the facade
+    landed; this clears that shared memo.
     """
-    start = time.perf_counter()
-    bundle = get_bundle(dataset, config)
-    shard_plan = get_shard_plan(dataset, config, num_chips, shard_method)
-    shard = shard_plan.shards[chip_id]
-    simulator = GrowSimulator(config.grow_config(**grow_overrides))
-    result = simulator.run_model(
-        chip_workloads(bundle.workloads, shard),
-        shard.local_plan(),
-        name=f"{dataset}[chip{chip_id}/{num_chips}]",
-    )
-    return result.to_dict(), time.perf_counter() - start
-
-
-def _normalise(result_dict: dict) -> dict:
-    """Round-trip a result dict through JSON so fresh and cached runs compose
-    from byte-identical values (numpy scalars become native types)."""
-    return json.loads(json.dumps(result_dict, default=json_default))
+    _clear_api_memo()
 
 
 @dataclass
@@ -232,6 +196,13 @@ class ScaleOutResult:
             "layers": [dict(layer) for layer in self.layers],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScaleOutResult":
+        """Rebuild a system result from its :meth:`to_dict` form (e.g. the
+        ``detail["system"]`` payload of an API ``scaleout`` run)."""
+        known = {k: data[k] for k in cls.__dataclass_fields__ if k in data}
+        return cls(**known)
+
     def comparable_dict(self) -> dict[str, Any]:
         """:meth:`to_dict` minus execution provenance (chip statuses), i.e.
         the fields serial, parallel and cached re-runs must agree on."""
@@ -273,6 +244,8 @@ class ScaleOutSimulator:
         cache: per-chip result cache; built under ``results_dir / "cache"``
             (shared with the suite) when omitted and ``use_cache`` is True.
         use_cache: disable to always recompute and never read/write entries.
+        memoize: disable the process-wide in-memory memo as well (tests or
+            callers that vary global simulator state).
         force: recompute even on a cache hit (fresh results are re-cached).
         results_dir: where ``scaleout_*.{json,md}`` reports are written by
             :meth:`write_reports`; ``None`` skips report files and (without
@@ -289,6 +262,7 @@ class ScaleOutSimulator:
         jobs: int = 1,
         cache: ResultCache | None = None,
         use_cache: bool = True,
+        memoize: bool = True,
         force: bool = False,
         results_dir: str | Path | None = None,
     ):
@@ -310,69 +284,35 @@ class ScaleOutSimulator:
             self.cache = ResultCache(self.results_dir / "cache")
         else:
             self.cache = None
+        # The facade session behind every per-chip run: supplies the memo,
+        # the on-disk cache wiring and the process-pool fan-out.
+        self.session = Session(
+            cache=self.cache,
+            use_cache=self.use_cache and self.cache is not None,
+            force=self.force_recompute,
+            jobs=self.jobs,
+            memoize=memoize,
+        )
 
-    # -- caching -----------------------------------------------------------
+    # -- per-chip evaluation ----------------------------------------------
 
-    def _entry_name(self, dataset: str, num_chips: int, chip_id: int) -> str:
-        """Cache entry name of one chip run.
+    def _chip_request(self, dataset: str, num_chips: int, chip_id: int) -> SimRequest:
+        """The chip-sliced ``grow`` request of one shard.
 
         Deliberately independent of the fabric's link parameters: the
         per-chip simulation only depends on the shard (dataset, chip count,
-        method) and the GROW configuration, so bandwidth/latency sweeps over
-        the same system share every chip entry.
+        method) and the GROW configuration, so bandwidth/latency/topology
+        sweeps over the same system share every chip entry.
         """
-        digest = hashlib.sha256(
-            json.dumps(
-                {"method": self.shard_method, "grow": self.grow_overrides}, sort_keys=True
-            ).encode()
-        ).hexdigest()[:12]
-        return f"scaleout-{dataset}-c{chip_id}of{num_chips}-{digest}"
-
-    def _memo_key(self, dataset: str, num_chips: int, chip_id: int) -> tuple:
-        return (
-            self._entry_name(dataset, num_chips, chip_id),
-            json.dumps(config_fingerprint(self.config), sort_keys=True, default=json_default),
+        return SimRequest.from_experiment(
+            self.config,
+            dataset,
+            backend="grow",
+            overrides=self.grow_overrides,
+            chip=ChipSpec(
+                num_chips=num_chips, chip_id=chip_id, shard_method=self.shard_method
+            ),
         )
-
-    def _cached_chip(self, dataset: str, num_chips: int, chip_id: int) -> dict | None:
-        if self.force_recompute:
-            return None
-        memoised = _CHIP_MEMO.get(self._memo_key(dataset, num_chips, chip_id))
-        if memoised is not None:
-            return dict(memoised)
-        if self.cache is None or not self.use_cache:
-            return None
-        entry = self.cache.get(self._entry_name(dataset, num_chips, chip_id), self.config)
-        if entry is None:
-            return None
-        chip_result = entry.metadata.get("chip_result")
-        if not chip_result:
-            return None
-        _CHIP_MEMO[self._memo_key(dataset, num_chips, chip_id)] = dict(chip_result)
-        return dict(chip_result)
-
-    def _store_chip(
-        self, dataset: str, num_chips: int, chip_id: int, result_dict: dict, seconds: float
-    ) -> None:
-        if self.cache is None or not self.use_cache:
-            return
-        entry_name = self._entry_name(dataset, num_chips, chip_id)
-        entry = ExperimentResult(
-            name=entry_name,
-            paper_reference="Scale-out per-chip run",
-            description=f"GROW chip {chip_id}/{num_chips} of {dataset}",
-            columns=["workload", "total_cycles"],
-            rows=[
-                {
-                    "workload": result_dict.get("workload", dataset),
-                    "total_cycles": AcceleratorResult.from_dict(result_dict).total_cycles,
-                }
-            ],
-            metadata={"chip_result": result_dict},
-        )
-        self.cache.put(entry_name, self.config, entry, seconds)
-
-    # -- per-chip evaluation ----------------------------------------------
 
     def _evaluate_chips(
         self, dataset: str, num_chips: int, shard_plan: ShardPlan
@@ -389,54 +329,18 @@ class ScaleOutSimulator:
                         accelerator="grow", workload=f"{dataset}[chip{chip_id}/{num_chips}]"
                     ),
                 )
-                continue
-            cached = self._cached_chip(dataset, num_chips, chip_id)
-            if cached is not None:
-                outcomes[chip_id] = ChipOutcome(
-                    chip_id=chip_id,
-                    status="cached",
-                    result=AcceleratorResult.from_dict(cached),
-                )
             else:
                 to_run.append(chip_id)
 
-        if self.jobs > 1 and len(to_run) > 1:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(to_run))) as pool:
-                futures = [
-                    pool.submit(
-                        _simulate_chip,
-                        dataset,
-                        self.config,
-                        num_chips,
-                        self.shard_method,
-                        chip_id,
-                        self.grow_overrides,
-                    )
-                    for chip_id in to_run
-                ]
-                raw = [future.result() for future in futures]
-        else:
-            raw = [
-                _simulate_chip(
-                    dataset,
-                    self.config,
-                    num_chips,
-                    self.shard_method,
-                    chip_id,
-                    self.grow_overrides,
-                )
-                for chip_id in to_run
-            ]
-
-        for chip_id, (result_dict, seconds) in zip(to_run, raw):
-            result_dict = _normalise(result_dict)
-            _CHIP_MEMO[self._memo_key(dataset, num_chips, chip_id)] = dict(result_dict)
-            self._store_chip(dataset, num_chips, chip_id, result_dict, seconds)
+        runs = self.session.run_batch(
+            [self._chip_request(dataset, num_chips, chip_id) for chip_id in to_run]
+        )
+        for chip_id, run in zip(to_run, runs):
             outcomes[chip_id] = ChipOutcome(
                 chip_id=chip_id,
-                status="ran",
-                result=AcceleratorResult.from_dict(result_dict),
-                seconds=seconds,
+                status=run.status,
+                result=run.accelerator_result(),
+                seconds=run.seconds,
             )
         return outcomes  # every slot is filled by construction
 

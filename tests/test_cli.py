@@ -248,3 +248,93 @@ def test_dse_smoke_target_subprocess(tmp_path):
     assert run.returncode == 0, run.stdout + run.stderr
     assert "Pareto point" in run.stdout
     assert (tmp_path / "dse_grow-smoke.json").exists()
+
+
+# ---------------------------------------------------------------------------
+# the API facade verbs: sim, and --json machine-readable output
+# ---------------------------------------------------------------------------
+
+
+def test_sim_prints_table_and_caches_in_process(capsys):
+    from repro.api import clear_memo
+
+    clear_memo()
+    argv = ["sim", "--backend", "grow", "--datasets", "cora", "--smoke"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "sim_grow" in out and "cora" in out and "ran" in out
+    # Second in-process invocation is served from the session memo.
+    assert main(argv) == 0
+    assert "cached" in capsys.readouterr().out
+
+
+def test_sim_json_emits_canonical_run_result_payloads(capsys):
+    from repro.api import SimRequest
+    from repro.harness import smoke_config
+
+    assert main(["sim", "--backend", "gcnax", "--smoke", "--json"]) == 0
+    payloads = json.loads(capsys.readouterr().out)
+    config = smoke_config()
+    assert [p["request"]["dataset"] for p in payloads] == list(config.datasets)
+    for payload in payloads:
+        # The payload round-trips into the exact request that produced it.
+        request = SimRequest.from_dict(payload["request"])
+        assert request.backend == "gcnax"
+        assert payload["metrics"]["cycles"] > 0
+        assert "result" in payload["detail"]
+
+
+def test_sim_scaleout_backend_consumes_fabric_flags(capsys):
+    argv = [
+        "sim", "--backend", "scaleout", "--datasets", "amazon", "--smoke",
+        "--chips", "2", "--topology", "mesh", "--json",
+    ]
+    assert main(argv) == 0
+    (payload,) = json.loads(capsys.readouterr().out)
+    assert payload["request"]["fabric"]["num_chips"] == 2
+    assert payload["request"]["fabric"]["topology"] == "mesh"
+    assert payload["detail"]["system"]["topology"]["kind"] == "mesh"
+
+
+def test_sim_unknown_names_fail_with_suggestions():
+    with pytest.raises(SystemExit, match="did you mean grow"):
+        main(["sim", "--backend", "gorw", "--smoke"])
+    with pytest.raises(SystemExit, match="did you mean amazon"):
+        main(["sim", "--datasets", "amazn", "--smoke"])
+
+
+def test_sim_override_flags_reach_the_simulator(capsys):
+    assert main([
+        "sim", "--datasets", "cora", "--smoke", "--json",
+        "--override", "runahead_degree=1", "--override", "enable_hdn_cache=false",
+    ]) == 0
+    (payload,) = json.loads(capsys.readouterr().out)
+    assert payload["request"]["overrides"] == {
+        "enable_hdn_cache": False, "runahead_degree": 1,
+    }
+    with pytest.raises(SystemExit, match="KEY=VALUE"):
+        main(["sim", "--smoke", "--override", "runahead_degree"])
+
+
+def test_run_json_emits_experiment_results(capsys):
+    assert main(["run", "fig3_density", "--datasets", "cora", "--json"]) == 0
+    payloads = json.loads(capsys.readouterr().out)
+    assert [p["name"] for p in payloads] == ["fig3_density"]
+    assert payloads[0]["rows"][0]["dataset"] == "cora"
+
+
+def test_scaleout_json_emits_canonical_run_result_payloads(tmp_path, capsys):
+    argv = [
+        "scaleout", "--chips", "2", "--smoke", "--json",
+        "--results-dir", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    payloads = json.loads(capsys.readouterr().out)
+    assert [p["request"]["dataset"] for p in payloads] == ["cora", "amazon"]
+    for payload in payloads:
+        assert payload["request"]["backend"] == "scaleout"
+        assert payload["request"]["fabric"]["num_chips"] == 2
+        assert payload["metrics"]["cycles"] > 0
+        assert payload["detail"]["system"]["system_cycles"] == payload["metrics"]["cycles"]
+    # The human-readable reports are still written alongside.
+    assert (tmp_path / "scaleout_ring2.json").exists()
