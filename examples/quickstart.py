@@ -20,7 +20,10 @@ Walks the same path as README.md's quickstart, calling the
 6. ``repro sim`` — one request through the unified API facade, plus its
    machine-readable ``--json`` payload (see ``examples/api_session.py``
    for the library walkthrough),
-7. the library API behind those commands, for programmatic use.
+7. ``repro sim --scenario`` — a synthetic workload the paper never
+   measured, defined inline and simulated like any dataset (see
+   ``examples/scenarios.py`` for the library walkthrough),
+8. the library API behind those commands, for programmatic use.
 
 Run with::
 
@@ -83,7 +86,12 @@ def main() -> None:
     repro_cli(["sim", "--backend", "grow", "--datasets", dataset_name, "--smoke",
                "--json"])
 
-    print("\n== 7. The library API behind the CLI ==")
+    print("\n== 7. A scenario the paper never measured: repro sim --scenario ==")
+    repro_cli(["sim", "--backend", "grow", "--scenario",
+               '{"name": "quickstart-scn", "generator": "rmat", '
+               '"num_nodes": 500, "average_degree": 6}'])
+
+    print("\n== 8. The library API behind the CLI ==")
     result = run_experiment("fig20_speedup", config=smoke_config())
     row = result.rows[0]
     print(

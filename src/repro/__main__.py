@@ -3,13 +3,15 @@
 Commands:
 
 * ``list``                       — list the registered experiments.
-* ``datasets``                   — print the synthetic dataset inventory (Table I).
+* ``datasets``                   — print the synthetic dataset inventory
+  (Table I, plus any scenario registered with ``--define``).
 * ``run <experiment> [...]``     — run experiments and print their tables
   (``--json`` for machine-readable output).
 * ``sim``                        — run one simulation request through the
-  unified API facade (``repro.api``): any backend, any dataset, optional
-  config overrides and scale-out fabric; ``--json`` emits the canonical
-  ``RunResult`` payload.
+  unified API facade (``repro.api``): any backend, any registered dataset
+  or ``--scenario``-defined synthetic workload, optional config overrides
+  and scale-out fabric; ``--json`` emits the canonical ``RunResult``
+  payload.
 * ``suite``                      — run many experiments in parallel with
   on-disk result caching and JSON/Markdown reports (the workhorse command).
 * ``dse``                        — design-space exploration: search a named
@@ -27,6 +29,9 @@ Examples::
     python -m repro run fig20_speedup --json       # ExperimentResult dicts
     python -m repro sim --backend grow --datasets cora --override runahead_degree=32
     python -m repro sim --backend gcnax --smoke --json
+    python -m repro datasets --define scenario.json
+    python -m repro sim --scenario '{"name": "social100k", "generator": "chung-lu",
+                                     "num_nodes": 100000, "average_degree": 12}'
     python -m repro sim --backend scaleout --chips 4 --topology mesh --smoke
     python -m repro suite --jobs 8                 # full figure suite, parallel
     python -m repro suite --jobs 8                 # second run: all cache hits
@@ -59,7 +64,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="include a one-line summary per experiment"
     )
 
-    subparsers.add_parser("datasets", help="print the synthetic dataset inventory")
+    datasets_parser = subparsers.add_parser(
+        "datasets", help="print the synthetic dataset inventory"
+    )
+    datasets_parser.add_argument(
+        "--define",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="register a scenario dataset before printing: a path to a JSON "
+        "scenario spec or an inline JSON object (repeatable); see "
+        "repro.graph.registry for the spec schema",
+    )
 
     run_parser = subparsers.add_parser("run", help="run experiments and print their tables")
     run_parser.add_argument("experiments", nargs="+", help="experiment ids (see 'list')")
@@ -260,6 +276,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--bandwidth", type=float, default=None, help="override DRAM bandwidth in GB/s"
     )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="define and run a synthetic scenario dataset: a path to a JSON "
+        "scenario spec or an inline JSON object (repeatable).  Without "
+        "--datasets, only the scenario(s) run; with it, they join the list",
+    )
 
 
 def _add_fabric_arguments(parser: argparse.ArgumentParser, default_chips: int) -> None:
@@ -337,26 +362,73 @@ def _validate_experiments(names) -> None:
     validate_experiment_names(names)
 
 
+def _parse_scenario_arguments(values) -> list:
+    """Parse repeated ``--scenario``/``--define`` flags and register the specs.
+
+    Each value is either a path to a JSON scenario-spec file or an inline
+    JSON object (``'{"name": "social100k", "num_nodes": 100000, ...}'``).
+    Every parsed spec is registered with the runtime registry (re-defining a
+    previously registered scenario is allowed; shadowing a built-in is not).
+    """
+    from repro.graph import registry
+
+    specs = []
+    for value in values or ():
+        text = value
+        if not value.lstrip().startswith("{"):
+            path = Path(value)
+            if not path.is_file():
+                raise SystemExit(
+                    f"--scenario expects a JSON file path or an inline JSON "
+                    f"object, and {value!r} is neither"
+                )
+            text = path.read_text()
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"scenario spec {value!r} is not valid JSON: {error}")
+        if not isinstance(data, dict):
+            raise SystemExit(f"scenario spec {value!r} must be a JSON object")
+        try:
+            spec = registry.scenario_from_dict(data)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        if registry.is_builtin(spec.name):
+            raise SystemExit(
+                f"scenario {spec.name!r} cannot redefine a built-in dataset"
+            )
+        registry.register_dataset(spec, replace=True)
+        specs.append(spec)
+    return specs
+
+
 def _config_from_args(args):
     from repro.api.errors import unknown_name_message
-    from repro.graph.datasets import DATASET_NAMES
+    from repro.graph import registry
     from repro.harness import default_config, smoke_config
 
-    unknown = [name for name in (args.datasets or ()) if name not in DATASET_NAMES]
+    scenarios = _parse_scenario_arguments(getattr(args, "scenario", None))
+    names = [name.lower() for name in (args.datasets or ())]
+    known = registry.dataset_names()
+    unknown = [name for name in names if name not in known]
     if unknown:
-        lines = [unknown_name_message("dataset", name, DATASET_NAMES) for name in unknown]
+        lines = [unknown_name_message("dataset", name, known) for name in unknown]
         lines.append("(note: experiment ids go before --datasets)")
         raise SystemExit("\n".join(lines))
+    scenario_names = [spec.name for spec in scenarios]
+    if names:
+        names += [name for name in scenario_names if name not in names]
+    elif scenario_names:
+        names = scenario_names
+
     overrides = {}
     if args.bandwidth is not None:
         overrides["bandwidth_gbps"] = args.bandwidth
-    if getattr(args, "smoke", False):
-        return smoke_config(
-            datasets=tuple(args.datasets) if args.datasets else None, **overrides
-        )
-    return default_config(
-        datasets=tuple(args.datasets) if args.datasets else None, **overrides
-    )
+    build = smoke_config if getattr(args, "smoke", False) else default_config
+    # Every non-builtin name is registered by now, so the config's
+    # construction-time snapshot carries each scenario's full definition
+    # into suite/DSE/scale-out worker processes.
+    return build(datasets=tuple(names) if names else None, **overrides)
 
 
 def _cmd_list(args) -> int:
@@ -370,10 +442,14 @@ def _cmd_list(args) -> int:
     return 0
 
 
-def _cmd_datasets() -> int:
-    from repro.harness import run_experiment
+def _cmd_datasets(args) -> int:
+    from repro.harness import default_config, run_experiment
 
-    print(run_experiment("table1_datasets").to_table())
+    scenarios = _parse_scenario_arguments(args.define)
+    config = default_config()
+    if scenarios:
+        config = config.with_scenarios(*scenarios)
+    print(run_experiment("table1_datasets", config=config).to_table())
     return 0
 
 
@@ -697,7 +773,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "datasets":
-        return _cmd_datasets()
+        return _cmd_datasets(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "sim":

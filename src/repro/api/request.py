@@ -26,7 +26,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.api.errors import RequestError, unknown_name_message
-from repro.graph.datasets import DATASET_NAMES
+from repro.graph import registry
+from repro.graph.registry import DatasetSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.harness.config import ExperimentConfig
@@ -163,7 +164,9 @@ class SimRequest:
     """One simulation, fully described.
 
     Attributes:
-        dataset: dataset name (see ``repro.graph.datasets.DATASET_NAMES``).
+        dataset: registered dataset name, case-insensitive (the paper's
+            built-ins, see ``repro.graph.registry.dataset_names``, or a
+            runtime-registered scenario).
         backend: registered backend name (see ``repro.api.list_backends``).
         bandwidth_gbps: off-chip DRAM bandwidth of the design.
         num_macs: MAC count of the design.
@@ -178,6 +181,14 @@ class SimRequest:
         fabric: the inter-chip fabric; required meaningfully only by (and
             only allowed with) the ``scaleout`` backend.
         chip: restrict the run to one shard slice (``grow`` backend only).
+        scenario: the full synthetic-workload definition when ``dataset`` is
+            not one of the paper's built-ins — a
+            :class:`~repro.graph.registry.DatasetSpec` or a declarative
+            scenario mapping (see ``repro.graph.registry.scenario_from_dict``).
+            Auto-attached from the runtime registry when the dataset name is
+            registered there, so the request (and hence its cache key and
+            any worker process it is shipped to) is self-contained: two
+            same-named scenarios with different parameters never share a key.
     """
 
     dataset: str
@@ -192,8 +203,12 @@ class SimRequest:
     overrides: tuple[tuple[str, Any], ...] = ()
     fabric: ScaleOutSpec | None = None
     chip: ChipSpec | None = None
+    scenario: DatasetSpec | None = None
 
     def __post_init__(self) -> None:
+        # -- canonicalise the dataset name (the loader is case-insensitive;
+        # the facade must accept exactly the same spellings).
+        object.__setattr__(self, "dataset", str(self.dataset).strip().lower())
         # -- canonicalise scalars so equivalent requests hash identically.
         object.__setattr__(
             self, "bandwidth_gbps", _coerce_float(self.bandwidth_gbps, "bandwidth_gbps", True)
@@ -234,15 +249,47 @@ class SimRequest:
         if isinstance(self.chip, Mapping):
             object.__setattr__(self, "chip", ChipSpec.from_dict(self.chip))
 
+        self._canonicalise_scenario()
         self._validate_names()
         self._validate_combination()
         self._canonicalise_irrelevant_fields()
 
     # -- validation --------------------------------------------------------
 
+    def _canonicalise_scenario(self) -> None:
+        """Normalise/auto-attach the scenario so the request is self-contained."""
+        scenario = self.scenario
+        if scenario is None:
+            if registry.known_dataset(self.dataset) and not registry.is_builtin(self.dataset):
+                # A runtime-registered scenario: embed its full definition so
+                # the cache key, and any worker process the request is
+                # shipped to, does not depend on this process's registry.
+                scenario = registry.get_spec(self.dataset)
+            else:
+                return
+        if isinstance(scenario, Mapping):
+            scenario = dict(scenario)
+            scenario.setdefault("name", self.dataset)
+        try:
+            scenario = registry.canonical_scenario(scenario)
+        except ValueError as error:
+            raise RequestError(str(error)) from None
+        if registry.is_builtin(scenario.name):
+            raise RequestError(
+                f"scenario {scenario.name!r} cannot redefine a built-in dataset"
+            )
+        if self.dataset != scenario.name:
+            raise RequestError(
+                f"request dataset {self.dataset!r} does not match its scenario's "
+                f"name {scenario.name!r}"
+            )
+        object.__setattr__(self, "scenario", scenario)
+
     def _validate_names(self) -> None:
-        if self.dataset not in DATASET_NAMES:
-            raise RequestError(unknown_name_message("dataset", self.dataset, DATASET_NAMES))
+        if self.scenario is None and not registry.known_dataset(self.dataset):
+            raise RequestError(
+                unknown_name_message("dataset", self.dataset, registry.dataset_names())
+            )
         # Imported at call time: the backend registry lives one module over
         # and is populated when ``repro.api`` finishes importing.
         from repro.api.backends import known_backend, list_backends
@@ -272,10 +319,18 @@ class SimRequest:
         fabric means the default fabric; ``partitioned`` only reaches the
         plan selection of whole-dataset GROW-family runs (baselines never
         load a plan, scale-out and chip slices always shard the partitioned
-        one); ``gcnax_tile`` only reaches the ``gcnax`` backend.
+        one); ``gcnax_tile`` only reaches the ``gcnax`` backend; a
+        ``num_nodes`` override equal to the embedded scenario's own size
+        describes the same workload as no override.
         """
         if self.backend == "scaleout" and self.fabric is None:
             object.__setattr__(self, "fabric", ScaleOutSpec())
+        if (
+            self.scenario is not None
+            and self.num_nodes == self.scenario.synthetic_nodes
+        ):
+            # An override equal to the scenario's own size is the default.
+            object.__setattr__(self, "num_nodes", None)
         if self.backend not in ("grow", "multipe") or self.chip is not None:
             object.__setattr__(self, "partitioned", True)
         if self.backend != "gcnax":
@@ -299,6 +354,11 @@ class SimRequest:
             "overrides": dict(self.overrides),
             "fabric": self.fabric.to_dict() if self.fabric is not None else None,
             "chip": self.chip.to_dict() if self.chip is not None else None,
+            "scenario": (
+                registry.scenario_to_dict(self.scenario)
+                if self.scenario is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -345,6 +405,7 @@ class SimRequest:
             num_nodes_override=(
                 {self.dataset: self.num_nodes} if self.num_nodes is not None else {}
             ),
+            scenarios=(self.scenario,) if self.scenario is not None else (),
         )
 
     @classmethod
@@ -360,7 +421,8 @@ class SimRequest:
     ) -> "SimRequest":
         """Build the request equivalent to running ``dataset`` under an
         existing experiment configuration (the bridge the harness, DSE and
-        scale-out layers use)."""
+        scale-out layers use).  Scenario definitions carried by the
+        configuration travel into the request."""
         return cls(
             dataset=dataset,
             backend=backend,
@@ -374,4 +436,5 @@ class SimRequest:
             overrides=dict(overrides or {}),
             fabric=fabric,
             chip=chip,
+            scenario=config.scenario_for(dataset),
         )

@@ -24,6 +24,9 @@ It also hosts the single-point sweep evaluators (``grow_cycles``,
 
 from __future__ import annotations
 
+import hashlib
+import json
+import math
 from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
@@ -54,9 +57,10 @@ METRIC_NAMES = ("cycles", "dram_bytes", "energy_nj", "area_mm2")
 
 def _is_canonical_bundle(config: ExperimentConfig, bundle: WorkloadBundle) -> bool:
     """Whether ``bundle`` is exactly what ``get_bundle`` builds for config."""
-    from repro.graph.datasets import DATASET_NAMES
+    from repro.graph import registry
 
-    return bundle.name in DATASET_NAMES and get_bundle(bundle.name, config) is bundle
+    known = registry.known_dataset(bundle.name) or config.scenario_for(bundle.name)
+    return bool(known) and get_bundle(bundle.name, config) is bundle
 
 
 def grow_cycles(
@@ -240,6 +244,67 @@ def bind_candidate(
     return bound, overrides
 
 
+#: Candidate keys that describe the *workload* rather than the design: they
+#: become a synthetic-scenario definition (see ``repro.graph.registry``) that
+#: replaces the configuration's dataset list, which is what makes scenario
+#: parameters (graph size, degree, community structure, generator family)
+#: ordinary searchable DSE dimensions.
+_SCENARIO_KEYS = frozenset(
+    (
+        "generator",
+        "num_nodes",
+        "average_degree",
+        "exponent",
+        "num_communities",
+        "intra_community_prob",
+    )
+)
+
+
+def _smoke_bounded_nodes(num_nodes: int, config: ExperimentConfig) -> int:
+    """Bound a scenario candidate's size under a shrunken (smoke) config.
+
+    ``smoke_config`` promises that a smoke run never silently builds a
+    full-size graph, so configurations that shrink their datasets also bound
+    scenario candidates: sizes beyond twice the largest shrunken dataset are
+    compressed with a square root, which keeps the searched size axis
+    monotone and distinct while staying at CI scale.
+    """
+    if not config.num_nodes_override:
+        return num_nodes
+    cap = 2 * max(config.num_nodes_override.values())
+    if num_nodes <= cap:
+        return num_nodes
+    return int(round(cap * math.sqrt(num_nodes / cap)))
+
+
+def _bind_scenario(
+    bound: ExperimentConfig, overrides: dict
+) -> tuple[ExperimentConfig, dict]:
+    """Split scenario keys out of a candidate's overrides.
+
+    When present, they define a deterministic synthetic scenario (named by a
+    digest of the parameters, so equal candidates share bundles and cache
+    entries) that becomes the configuration's sole workload.
+    """
+    params = {key: overrides[key] for key in sorted(_SCENARIO_KEYS & set(overrides))}
+    if not params:
+        return bound, overrides
+    from repro.graph import registry
+
+    remaining = {k: v for k, v in overrides.items() if k not in _SCENARIO_KEYS}
+    if "num_nodes" in params:
+        params["num_nodes"] = _smoke_bounded_nodes(int(params["num_nodes"]), bound)
+    digest = hashlib.sha256(
+        json.dumps(params, sort_keys=True).encode()
+    ).hexdigest()[:10]
+    spec = registry.scenario_from_dict({"name": f"dse-scenario-{digest}", **params})
+    bound = replace(
+        bound, datasets=(spec.name,), scenarios=(spec,), num_nodes_override={}
+    )
+    return bound, remaining
+
+
 def _provision_ldn(grow_overrides: dict) -> dict:
     """Size the LDN table to a searched runahead degree.
 
@@ -272,13 +337,17 @@ def candidate_metrics(
 
     Cycles, traffic and energy are summed over ``config.datasets`` (every
     dataset runs on the same candidate design); area is a property of the
-    design alone.  Raises on candidates the simulators reject (e.g. a
+    design alone.  Candidate keys naming scenario parameters (``num_nodes``,
+    ``average_degree``, ``num_communities``, ...) replace the configuration's
+    datasets with one synthetic scenario — the workload itself becomes a
+    search dimension.  Raises on candidates the simulators reject (e.g. a
     runahead degree below 1) — the engine records those as failed
     evaluations.
     """
     from repro.harness.experiments.common import simulate
 
     bound, overrides = bind_candidate(config, candidate)
+    bound, overrides = _bind_scenario(bound, overrides)
     if accelerator == "grow":
         grow_overrides = _provision_ldn(overrides)
         grow_config = bound.grow_config(**grow_overrides)

@@ -6,7 +6,10 @@ declarative search problems: Figure 25(a)'s runahead sweep and Figure
 sizing axes behind Table III/IV.  ``grow-smoke`` is the seconds-scale CI
 space used by ``python -m repro dse --smoke``.  The ``scaleout-*`` spaces
 make the multi-chip system (:mod:`repro.scaleout`) searchable: chip count,
-fabric topology and link bandwidth become ordinary DSE dimensions.
+fabric topology and link bandwidth become ordinary DSE dimensions.  The
+``scenario-*`` spaces make the *workload* searchable: their candidate keys
+are synthetic-scenario parameters (graph size, degree, community count)
+that the objective layer turns into registry-defined chung-lu scenarios.
 
 Importing this module also registers ``dse_grow_frontier`` with the
 experiment registry (:mod:`repro.harness.registry`), which makes the DSE
@@ -125,6 +128,32 @@ SCALEOUT_SMOKE = register_space(
         params=(
             Categorical("num_chips", (1, 4)),
             Categorical("topology", ("ring", "fully-connected")),
+        ),
+    )
+)
+
+SCENARIO_SCALING = register_space(
+    ParameterSpace(
+        name="scenario-scaling",
+        description="synthetic-workload axes: graph size x degree x communities "
+        "(chung-lu scenarios replace the dataset list; see repro.graph.registry)",
+        accelerator="grow",
+        params=(
+            Categorical("num_nodes", (1000, 4000, 16000)),
+            Categorical("average_degree", (4.0, 8.0, 16.0)),
+            Categorical("num_communities", (4, 16, 64)),
+        ),
+    )
+)
+
+SCENARIO_SMOKE = register_space(
+    ParameterSpace(
+        name="scenario-smoke",
+        description="tiny CI scenario space (4 candidates): graph size x degree",
+        accelerator="grow",
+        params=(
+            Categorical("num_nodes", (400, 800)),
+            Categorical("average_degree", (4.0, 8.0)),
         ),
     )
 )

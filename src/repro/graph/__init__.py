@@ -14,6 +14,17 @@ from repro.graph.generators import (
     erdos_renyi_graph,
     powerlaw_cluster_graph,
     powerlaw_degree_sequence,
+    rmat_graph,
+)
+from repro.graph.registry import (
+    GENERATOR_FAMILIES,
+    dataset_names,
+    define_scenario,
+    known_dataset,
+    register_dataset,
+    scenario_from_dict,
+    scenario_to_dict,
+    unregister_dataset,
 )
 from repro.graph.datasets import (
     DATASET_NAMES,
@@ -44,6 +55,15 @@ __all__ = [
     "erdos_renyi_graph",
     "powerlaw_cluster_graph",
     "powerlaw_degree_sequence",
+    "rmat_graph",
+    "GENERATOR_FAMILIES",
+    "dataset_names",
+    "define_scenario",
+    "known_dataset",
+    "register_dataset",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "unregister_dataset",
     "DATASET_NAMES",
     "DatasetSpec",
     "SyntheticDataset",

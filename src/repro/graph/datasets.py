@@ -16,72 +16,48 @@ order of magnitude denser than the social/e-commerce graphs), power-law
 degree skew, community structure, and the feature widths / feature densities
 of Table I.  ``load_dataset(name, num_nodes=...)`` overrides the node count
 and rescales the degree to keep the density.
+
+The eight Table I specs are registered as *built-ins* with the runtime
+dataset registry (:mod:`repro.graph.registry`); ``load_dataset`` resolves
+any registered name — built-in or runtime-defined scenario — and dispatches
+on the spec's generator family (chung-lu, erdos-renyi, powerlaw-cluster,
+rmat).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graph.generators import chung_lu_graph
+from repro.graph import registry
+from repro.graph.generators import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    rmat_graph,
+)
 from repro.graph.graph import Graph
+from repro.graph.registry import DatasetSpec
 
-
-@dataclass(frozen=True)
-class DatasetSpec:
-    """Published statistics of one of the paper's graph datasets (Table I).
-
-    Attributes:
-        name: dataset name as used in the paper.
-        num_nodes: number of graph nodes.
-        num_edges: number of edges (non-zeros of the adjacency matrix).
-        feature_lengths: GCN layer widths, e.g. ``(1433, 16, 7)`` means the
-            input features have 1433 columns, the hidden layer 16, the output 7.
-        density_x0: density of the layer-0 input feature matrix X(0).
-        density_x1: density of the layer-1 input feature matrix X(1).
-        num_communities: number of planted communities used by the synthetic
-            generator (larger graphs have more community structure).
-        powerlaw_exponent: degree-distribution exponent of the generator.
-        synthetic_nodes: default node count of the synthetic stand-in graph.
-        synthetic_degree: default average degree of the synthetic stand-in.
-            Node counts preserve the relative-size ordering of Table I; the
-            degrees are chosen so the adjacency density of the stand-in
-            preserves the paper's ordering (the large social/e-commerce graphs
-            stay the sparsest, Reddit stays an order of magnitude denser),
-            which is what the tile-occupancy and bandwidth-utilisation
-            characterisation depends on.
-    """
-
-    name: str
-    num_nodes: int
-    num_edges: int
-    feature_lengths: tuple[int, ...]
-    density_x0: float
-    density_x1: float
-    num_communities: int = 8
-    powerlaw_exponent: float = 2.1
-    synthetic_nodes: int = 1000
-    synthetic_degree: float = 5.0
-
-    @property
-    def average_degree(self) -> float:
-        """Average node degree implied by the published node/edge counts."""
-        return self.num_edges / self.num_nodes
-
-    @property
-    def adjacency_density(self) -> float:
-        """Density of the adjacency matrix implied by the published counts."""
-        return self.num_edges / (self.num_nodes ** 2)
-
-    @property
-    def synthetic_density(self) -> float:
-        """Adjacency density of the default synthetic stand-in."""
-        return self.synthetic_degree / self.synthetic_nodes
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "LARGE_DATASETS",
+    "SMALL_DATASETS",
+    "SyntheticDataset",
+    "dataset_spec",
+    "load_all_datasets",
+    "load_dataset",
+]
 
 
 # Published statistics from Table I of the paper.  Feature lengths are the
 # "Feature length" row; densities are the "Density of X(0)" / "X(1)" rows.
+# The synthetic node counts preserve the relative-size ordering of Table I;
+# the degrees keep the adjacency-density ordering (the large social/
+# e-commerce graphs stay the sparsest, Reddit stays an order of magnitude
+# denser), which the tile-occupancy and bandwidth characterisation depends on.
 _SPECS: dict[str, DatasetSpec] = {
     "cora": DatasetSpec(
         name="cora", num_nodes=2708, num_edges=13264,
@@ -133,6 +109,13 @@ _SPECS: dict[str, DatasetSpec] = {
     ),
 }
 
+for _spec in _SPECS.values():
+    registry.register_dataset(_spec, builtin=True)
+
+#: The paper's eight Table I dataset names.  Runtime-registered scenarios
+#: are deliberately *not* in this tuple (it is the default dataset list of
+#: the experiment configuration); use ``repro.graph.registry.dataset_names``
+#: for the full inventory.
 DATASET_NAMES: tuple[str, ...] = tuple(_SPECS)
 
 SMALL_DATASETS: tuple[str, ...] = ("cora", "citeseer", "pubmed", "flickr")
@@ -189,46 +172,91 @@ class SyntheticDataset:
 
 
 def dataset_spec(name: str) -> DatasetSpec:
-    """Look up the published statistics of a dataset by name."""
-    key = name.lower()
-    if key not in _SPECS:
-        raise KeyError(f"unknown dataset {name!r}; known: {sorted(_SPECS)}")
-    return _SPECS[key]
+    """Look up the statistics of a registered dataset by name.
+
+    Resolves through the runtime registry (:mod:`repro.graph.registry`), so
+    both the paper's built-ins and runtime-registered scenarios are found.
+    """
+    return registry.get_spec(name)
+
+
+def _generate_graph(spec: DatasetSpec, n: int, degree: float, rng) -> Graph:
+    """Dispatch to the spec's generator family.
+
+    A runtime scenario at its own size is honoured exactly (up to the
+    physical bounds ``degree <= n - 1`` and ``communities <= n``) — the
+    definition *is* the workload.  Built-in stand-ins, and any spec under a
+    node-count *override* (smoke shrinking, weak-scaling sweeps), keep the
+    calibrated legacy rescaling of degree and community structure.
+    """
+    if n == spec.synthetic_nodes and not registry.is_builtin(spec.name):
+        degree = min(degree, max(1.0, n - 1.0))
+        communities = min(spec.num_communities, n)
+    else:
+        degree = max(1.5, min(degree, n / 4)) if n > 1 else degree
+        communities = min(spec.num_communities, max(1, n // 64))
+    if spec.generator == "chung-lu":
+        return chung_lu_graph(
+            num_nodes=n,
+            average_degree=degree,
+            exponent=spec.powerlaw_exponent,
+            num_communities=communities,
+            intra_community_prob=spec.intra_community_prob,
+            rng=rng,
+            name=spec.name,
+        )
+    if spec.generator == "erdos-renyi":
+        return erdos_renyi_graph(n, degree, rng=rng, name=spec.name)
+    if spec.generator == "powerlaw-cluster":
+        return powerlaw_cluster_graph(n, degree, rng=rng, name=spec.name)
+    if spec.generator == "rmat":
+        return rmat_graph(
+            n, degree, rng=rng, name=spec.name, num_communities=communities
+        )
+    raise ValueError(
+        f"dataset {spec.name!r} names unknown generator {spec.generator!r}; "
+        f"choose from {list(registry.GENERATOR_FAMILIES)}"
+    )
 
 
 def load_dataset(
-    name: str,
+    name: str | None = None,
     num_nodes: int | None = None,
     seed: int = 0,
     max_input_features: int = _MAX_SYNTHETIC_INPUT_FEATURES,
+    spec: DatasetSpec | None = None,
 ) -> SyntheticDataset:
-    """Materialise a synthetic stand-in for one of the paper's datasets.
+    """Materialise a registered dataset (built-in or runtime scenario).
 
     Args:
-        name: dataset name (case-insensitive), one of :data:`DATASET_NAMES`.
-        num_nodes: override the synthetic node count (default: a per-dataset
-            value that preserves the relative size ordering of Table I).
+        name: dataset name (case-insensitive), any registered dataset (see
+            ``repro.graph.registry.dataset_names``).
+        num_nodes: override the synthetic node count (default: the spec's
+            ``synthetic_nodes``).
         seed: RNG seed so datasets are reproducible.
         max_input_features: cap on the input feature width; hidden and output
             widths are never shrunk.
+        spec: explicit spec to materialise (skips the registry lookup; used
+            by harness configurations that carry their scenario definitions
+            across process boundaries).
     """
-    spec = dataset_spec(name)
-    n = num_nodes if num_nodes is not None else spec.synthetic_nodes
-    n = max(16, int(n))
+    if spec is None:
+        if name is None:
+            raise TypeError("load_dataset needs a dataset name or an explicit spec")
+        spec = registry.get_spec(name)
+    # An explicit override keeps the historical floor of 16 (smoke shrinking
+    # must never degenerate a stand-in) — except for scenarios *defined*
+    # smaller than that, whose own size is the floor; a spec's unoverridden
+    # node count is honoured exactly: the scenario definition *is* the
+    # workload.
+    floor = min(16, int(spec.synthetic_nodes))
+    n = max(floor, int(num_nodes)) if num_nodes is not None else int(spec.synthetic_nodes)
     # Scale the target degree with any node-count override so density is kept.
     degree = spec.synthetic_degree * (n / spec.synthetic_nodes)
     # A deterministic per-dataset offset (Python's hash() is salted per run).
     name_offset = sum(ord(ch) * (i + 1) for i, ch in enumerate(spec.name))
     rng = np.random.default_rng(seed + name_offset)
-    graph = chung_lu_graph(
-        num_nodes=n,
-        average_degree=max(1.5, min(degree, n / 4)),
-        exponent=spec.powerlaw_exponent,
-        num_communities=min(spec.num_communities, max(1, n // 64)),
-        intra_community_prob=0.85,
-        rng=rng,
-        name=spec.name,
-    )
+    graph = _generate_graph(spec, n, degree, rng)
     input_width = min(spec.feature_lengths[0], max_input_features)
     feature_lengths = (input_width,) + tuple(spec.feature_lengths[1:])
     return SyntheticDataset(

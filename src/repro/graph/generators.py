@@ -15,6 +15,15 @@ import numpy as np
 from repro.graph.graph import Graph
 
 
+def _edgeless_graph(name: str, communities: np.ndarray | None = None) -> Graph:
+    """The degenerate single-node graph every generator collapses to."""
+    empty = np.empty(0, dtype=np.int64)
+    return Graph(
+        num_nodes=1, src=empty, dst=empty, name=name, undirected=True,
+        communities=communities,
+    )
+
+
 def powerlaw_degree_sequence(
     num_nodes: int,
     average_degree: float,
@@ -27,7 +36,12 @@ def powerlaw_degree_sequence(
     Degrees are sampled from a Pareto-like distribution with the given
     exponent and then rescaled so the empirical mean matches
     ``average_degree``.  The heaviest nodes are clipped to ``max_degree``
-    (default: ``num_nodes - 1``).
+    (default: ``num_nodes - 1``), the lightest are floored to 1; the scale
+    is then re-fit against the *quantised* sequence and any residual is
+    redistributed one unit at a time, so the empirical mean lands on the
+    target (to within 1/num_nodes) instead of drifting low whenever the
+    clip shaves mass off the heavy tail.  Targets outside the reachable
+    ``[1, max_degree]`` band saturate at the nearest bound.
     """
     if rng is None:
         rng = np.random.default_rng(0)
@@ -35,12 +49,48 @@ def powerlaw_degree_sequence(
         raise ValueError("num_nodes must be positive")
     if average_degree <= 0:
         raise ValueError("average_degree must be positive")
-    raw = (1.0 - rng.random(num_nodes)) ** (-1.0 / (exponent - 1.0))
-    raw *= average_degree / raw.mean()
-    degrees = np.maximum(1, np.round(raw)).astype(np.int64)
     cap = max_degree if max_degree is not None else num_nodes - 1
     cap = max(1, cap)
-    degrees = np.minimum(degrees, cap)
+    target = min(max(average_degree, 1.0), float(cap))
+    with np.errstate(over="ignore"):
+        raw = (1.0 - rng.random(num_nodes)) ** (-1.0 / (exponent - 1.0))
+    # Exponents near 1 overflow the Pareto transform to inf at large sizes;
+    # a draw that deep in the tail lands on the cap after quantisation no
+    # matter its exact value, so a huge finite stand-in is exact — and keeps
+    # the mean/scale arithmetic below NaN-free.
+    raw = np.minimum(raw, 1e18)
+
+    def quantise(scale: float) -> np.ndarray:
+        return np.minimum(np.maximum(1, np.round(raw * scale)).astype(np.int64), cap)
+
+    # Multiplicative re-fit: the quantised mean is monotone in the scale, so
+    # a few rounds of scale *= target/mean converge to the neighbourhood of
+    # the target while preserving the distribution's shape.
+    scale = target / raw.mean()
+    degrees = quantise(scale)
+    for _ in range(24):
+        mean = degrees.mean()
+        if abs(mean - target) <= 0.005 * target:
+            break
+        scale *= target / mean
+        degrees = quantise(scale)
+
+    # Exact redistribution of the residual quantisation error: add/remove
+    # single units at randomly chosen nodes that have headroom.
+    total_target = int(round(num_nodes * target))
+    deficit = total_target - int(degrees.sum())
+    while deficit != 0:
+        if deficit > 0:
+            eligible = np.where(degrees < cap)[0]
+            step = 1
+        else:
+            eligible = np.where(degrees > 1)[0]
+            step = -1
+        if eligible.size == 0:
+            break  # target saturates the reachable band
+        chosen = rng.choice(eligible, size=min(abs(deficit), eligible.size), replace=False)
+        degrees[chosen] += step
+        deficit = total_target - int(degrees.sum())
     return degrees
 
 
@@ -66,6 +116,12 @@ def chung_lu_graph(
     """
     if rng is None:
         rng = np.random.default_rng(0)
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if num_nodes == 1:
+        # A single node admits no self-loop-free edge; the self-loop
+        # redirection below would otherwise draw from an empty range.
+        return _edgeless_graph(name, communities=np.zeros(1, dtype=np.int64))
     if max_degree is None:
         # Cap hub degrees the way real graphs do: the heaviest node touches a
         # few percent of the graph, not (nearly) all of it.
@@ -156,6 +212,10 @@ def erdos_renyi_graph(
     """Uniform random graph (no power law); used for non-power-law studies."""
     if rng is None:
         rng = np.random.default_rng(0)
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if num_nodes == 1:
+        return _edgeless_graph(name)
     num_edges = max(1, int(round(num_nodes * average_degree / 2)))
     src = rng.integers(0, num_nodes, size=num_edges)
     dst = rng.integers(0, num_nodes, size=num_edges)
@@ -179,6 +239,10 @@ def powerlaw_cluster_graph(
     """
     if rng is None:
         rng = np.random.default_rng(0)
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if num_nodes == 1:
+        return _edgeless_graph(name)
     m = max(1, int(round(average_degree / 2)))
     if num_nodes <= m:
         raise ValueError("num_nodes must exceed average_degree / 2")
@@ -219,4 +283,88 @@ def powerlaw_cluster_graph(
         dst=np.asarray(dst_list, dtype=np.int64),
         name=name,
         undirected=True,
+    )
+
+
+def rmat_graph(
+    num_nodes: int,
+    average_degree: float,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    rng: np.random.Generator | None = None,
+    name: str = "rmat",
+    num_communities: int = 1,
+) -> Graph:
+    """Recursive-matrix (R-MAT / Graph500 style) power-law graph.
+
+    Each edge picks one quadrant of the adjacency matrix per bit level with
+    probabilities ``(a, b, c, d)`` (``d = 1 - a - b - c``), which yields the
+    skewed, self-similar degree distributions of web and social graphs.  The
+    defaults are the Graph500 parameters.  Because the recursion concentrates
+    edges hierarchically, nodes are labelled with ``num_communities``
+    contiguous id ranges on the returned graph's ``communities`` attribute —
+    the natural community structure an R-MAT id encodes in its high bits.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    d = 1.0 - (a + b + c)
+    if min(a, b, c, d) < 0 or max(a, b, c) <= 0:
+        raise ValueError("quadrant probabilities must be non-negative with a+b+c <= 1")
+    communities = None
+    if num_communities > 1:
+        # Contiguous id ranges: the recursion's high bits.
+        communities = (
+            np.arange(num_nodes, dtype=np.int64) * min(num_communities, num_nodes)
+        ) // num_nodes
+    if num_nodes == 1:
+        return _edgeless_graph(name, communities=np.zeros(1, dtype=np.int64))
+    levels = max(1, int(np.ceil(np.log2(num_nodes))))
+    target_edges = max(1, int(round(num_nodes * average_degree / 2)))
+
+    def _sample_batch(batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        src = np.zeros(batch_size, dtype=np.int64)
+        dst = np.zeros(batch_size, dtype=np.int64)
+        draws = rng.random((batch_size, levels))
+        for level in range(levels):
+            r = draws[:, level]
+            # Quadrants in probability order: a=(0,0), b=(0,1), c=(1,0), d=(1,1).
+            src_bit = (r >= a + b).astype(np.int64)
+            dst_bit = (((r >= a) & (r < a + b)) | (r >= a + b + c)).astype(np.int64)
+            src = (src << 1) | src_bit
+            dst = (dst << 1) | dst_bit
+        in_range = (src < num_nodes) & (dst < num_nodes)
+        src, dst = src[in_range], dst[in_range]
+        loops = src == dst
+        if loops.any():
+            dst = dst.copy()
+            dst[loops] = (
+                dst[loops] + 1 + rng.integers(0, num_nodes - 1, size=int(loops.sum()))
+            ) % num_nodes
+        return src, dst
+
+    # Same unique-undirected-edge accumulation as the Chung-Lu sampler: the
+    # recursion concentrates draws on hub quadrants, so duplicates are common.
+    unique_keys = np.empty(0, dtype=np.int64)
+    for _round in range(12):
+        remaining = target_edges - unique_keys.size
+        if remaining <= 0:
+            break
+        batch = max(256, int(remaining * 2))
+        src, dst = _sample_batch(batch)
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        keys = lo * np.int64(num_nodes) + hi
+        unique_keys = np.unique(np.concatenate([unique_keys, keys]))
+    if unique_keys.size > target_edges:
+        unique_keys = rng.permutation(unique_keys)[:target_edges]
+    return Graph(
+        num_nodes=num_nodes,
+        src=(unique_keys // num_nodes).astype(np.int64),
+        dst=(unique_keys % num_nodes).astype(np.int64),
+        name=name,
+        undirected=True,
+        communities=communities,
     )

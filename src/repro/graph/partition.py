@@ -111,16 +111,30 @@ def bfs_partition(graph: Graph, num_clusters: int, seed: int = 0) -> PartitionRe
     )
 
 
-def _label_propagation(graph: Graph, rng: np.random.Generator, max_sweeps: int = 10) -> np.ndarray:
-    """Community detection by asynchronous label propagation.
+def _label_propagation(
+    graph: Graph,
+    rng: np.random.Generator,
+    max_sweeps: int = 10,
+    max_label_size: float | None = None,
+) -> np.ndarray:
+    """Community detection by size-constrained asynchronous label propagation.
 
     Every node repeatedly adopts the label most common among its neighbours;
     on real-world (and the synthetic community-structured) graphs this
     converges in a handful of sweeps to the underlying communities.
+
+    Unconstrained propagation has a well-known failure mode on graphs with
+    heavy hubs: one hub's label floods the whole graph, collapsing every
+    community into a single giant label (which the downstream packing can
+    then only split arbitrarily).  ``max_label_size`` bounds how many members
+    a label may absorb — a node never *joins* a label at capacity, though it
+    may keep the one it already has — which keeps distinct communities
+    distinct no matter how skewed the degree distribution is.
     """
     adj = graph.adjacency()
     n = graph.num_nodes
     labels = np.arange(n, dtype=np.int64)
+    label_sizes = np.ones(n, dtype=np.int64)
     indptr, indices = adj.indptr, adj.indices
     for _sweep in range(max_sweeps):
         changed = 0
@@ -128,11 +142,22 @@ def _label_propagation(graph: Graph, rng: np.random.Generator, max_sweeps: int =
             start, end = indptr[node], indptr[node + 1]
             if end == start:
                 continue
+            current = int(labels[node])
             neighbor_labels = labels[indices[start:end]]
             counts = np.bincount(neighbor_labels)
-            best = int(np.argmax(counts))
-            if counts[best] > 0 and best != labels[node]:
+            candidates = np.unique(neighbor_labels)
+            if max_label_size is not None:
+                open_slots = (label_sizes[candidates] < max_label_size) | (
+                    candidates == current
+                )
+                candidates = candidates[open_slots]
+                if candidates.size == 0:
+                    continue
+            best = int(candidates[np.argmax(counts[candidates])])
+            if counts[best] > 0 and best != current:
                 labels[node] = best
+                label_sizes[current] -= 1
+                label_sizes[best] += 1
                 changed += 1
         if changed < max(1, n // 200):
             break
@@ -217,7 +242,7 @@ def metis_like_partition(
         return _single_cluster_result(n)
     rng = np.random.default_rng(seed)
     capacity = balance_slack * n / num_clusters
-    labels = _label_propagation(graph, rng)
+    labels = _label_propagation(graph, rng, max_label_size=capacity)
     assignment = _pack_communities(labels, num_clusters, capacity)
     assignment = _refine_boundary(graph, assignment, num_clusters, capacity, passes=refinement_passes)
     permutation, sizes = _build_permutation(assignment, num_clusters)

@@ -51,6 +51,15 @@ def config_fingerprint(config: ExperimentConfig) -> dict[str, Any]:
     """JSON-safe dict of every config field, used as part of the cache key."""
     fingerprint = asdict(config)
     fingerprint["datasets"] = list(fingerprint["datasets"])
+    # A scenario's persistent identity is its *definition*, wherever it was
+    # resolved from (carried by the config or the process registry); keying
+    # on the carried tuple alone would let a redefined registry scenario hit
+    # stale entries, and a carried-but-unused spec would split keys needlessly.
+    fingerprint["scenarios"] = [
+        asdict(spec)
+        for spec in (config.effective_scenario(name) for name in config.datasets)
+        if spec is not None
+    ]
     return fingerprint
 
 

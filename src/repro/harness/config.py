@@ -22,6 +22,7 @@ from repro.accelerators.hygcn import HyGCNConfig
 from repro.accelerators.matraptor import MatRaptorConfig
 from repro.core.config import GrowConfig
 from repro.graph.datasets import DATASET_NAMES
+from repro.graph.registry import DatasetSpec
 
 # Scaled default bandwidth (GB/s) used by the experiment harness; see module
 # docstring for the rationale.
@@ -41,6 +42,11 @@ class ExperimentConfig:
             preprocessing pass.
         gcnax_tile: GCNAX tile dimension (square tiles).
         num_nodes_override: optional per-dataset synthetic node count override.
+        scenarios: specs of any runtime-defined scenario datasets named in
+            ``datasets``.  Carrying the full definition (rather than a name
+            that only this process's registry can resolve) is what lets
+            suite/DSE/scale-out worker processes rebuild scenario workloads,
+            and what makes the result cache's config fingerprint sound.
     """
 
     datasets: tuple[str, ...] = DATASET_NAMES
@@ -50,6 +56,30 @@ class ExperimentConfig:
     target_cluster_nodes: int = 600
     gcnax_tile: int = 32
     num_nodes_override: dict[str, int] = field(default_factory=dict)
+    scenarios: tuple[DatasetSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Snapshot the definition of every non-builtin dataset the process
+        # registry can resolve right now.  A config is thereby self-contained
+        # the moment it is built: worker pools rebuild scenario workloads
+        # from the carried specs even under spawn-start multiprocessing
+        # (where a child process's registry holds only the built-ins), and
+        # later registry redefinitions never alter an existing config.
+        from repro.graph import registry
+
+        carried = {spec.name: spec for spec in self.scenarios}
+        changed = False
+        for name in self.datasets:
+            key = str(name).lower()
+            if (
+                key not in carried
+                and registry.known_dataset(key)
+                and not registry.is_builtin(key)
+            ):
+                carried[key] = registry.get_spec(key)
+                changed = True
+        if changed:
+            object.__setattr__(self, "scenarios", tuple(carried.values()))
 
     @property
     def arch(self) -> AcceleratorConfig:
@@ -89,6 +119,47 @@ class ExperimentConfig:
         """Copy of this config with a different memory bandwidth."""
         return replace(self, bandwidth_gbps=bandwidth_gbps)
 
+    def scenario_for(self, name: str) -> DatasetSpec | None:
+        """The carried scenario spec of ``name``, or ``None`` (built-ins)."""
+        key = str(name).lower()
+        for spec in self.scenarios:
+            if spec.name == key:
+                return spec
+        return None
+
+    def effective_scenario(self, name: str) -> DatasetSpec | None:
+        """The spec that will actually materialise ``name``: the carried
+        scenario if present, else the process registry's runtime entry
+        (``None`` for built-ins).  Memo keys must use *this* — a name alone
+        is not an identity for a redefinable scenario."""
+        spec = self.scenario_for(name)
+        if spec is None:
+            from repro.graph import registry
+
+            key = str(name).lower()
+            if registry.known_dataset(key) and not registry.is_builtin(key):
+                spec = registry.get_spec(key)
+        return spec
+
+    def with_scenarios(
+        self, *specs: DatasetSpec, datasets: tuple[str, ...] | None = None
+    ) -> "ExperimentConfig":
+        """Copy of this config carrying (additional) scenario definitions.
+
+        Same-named scenarios are replaced; unless an explicit ``datasets``
+        tuple is given, the scenario names are appended to the dataset list.
+        """
+        merged = {spec.name: spec for spec in self.scenarios}
+        for spec in specs:
+            merged[spec.name] = spec
+        if datasets is None:
+            datasets = self.datasets + tuple(
+                spec.name for spec in specs if spec.name not in self.datasets
+            )
+        return replace(
+            self, scenarios=tuple(merged.values()), datasets=tuple(datasets)
+        )
+
 
 def default_config(datasets: tuple[str, ...] | None = None, **overrides) -> ExperimentConfig:
     """The standard scaled experiment configuration (optionally restricted)."""
@@ -126,4 +197,15 @@ def smoke_config(datasets: tuple[str, ...] | None = None, **overrides) -> Experi
         target_cluster_nodes=150,
     )
     defaults.update(overrides)
-    return ExperimentConfig(**defaults)
+    config = ExperimentConfig(**defaults)
+    # Smoke *shrinks*, never enlarges: a scenario dataset already smaller
+    # than the blanket smoke size runs at its own defined size (which also
+    # keeps its degree/community structure honoured verbatim).
+    clamped = dict(config.num_nodes_override)
+    for name in list(clamped):
+        spec = config.effective_scenario(name)
+        if spec is not None:
+            clamped[name] = min(clamped[name], spec.synthetic_nodes)
+    if clamped != config.num_nodes_override:
+        config = replace(config, num_nodes_override=clamped)
+    return config

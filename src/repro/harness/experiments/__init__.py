@@ -17,6 +17,9 @@ The monolithic experiment module is split along the paper's narrative:
 * :mod:`~repro.harness.experiments.scaling_out` — beyond the paper: the
   multi-chip ``scaling_out`` family (strong/weak scaling, topology
   sensitivity) built on :mod:`repro.scaleout`.
+* :mod:`~repro.harness.experiments.scenario` — beyond the paper: the
+  ``scenario_scaling`` family over runtime-defined synthetic workloads
+  (:mod:`repro.graph.registry`).
 
 Importing this package registers every experiment with
 :mod:`repro.harness.registry`.  Every experiment consumes an
@@ -38,6 +41,7 @@ from repro.harness.experiments import physical  # noqa: F401
 from repro.harness.experiments import scaling  # noqa: F401
 from repro.harness.experiments import comparison  # noqa: F401
 from repro.harness.experiments import scaling_out  # noqa: F401
+from repro.harness.experiments import scenario  # noqa: F401
 
 __all__ = [
     "gcnax_results",

@@ -52,16 +52,29 @@ def _cache_key(name: str, config: ExperimentConfig) -> tuple:
         config.seed,
         config.num_nodes_override.get(name),
         config.target_cluster_nodes,
+        # Scenario datasets are identified by their full definition, not just
+        # their name: two same-named scenarios must never share a bundle.
+        # effective_scenario also covers registry-resolved scenarios a config
+        # does not carry itself (a redefined registry entry is a new bundle).
+        config.effective_scenario(name),
     )
 
 
 def get_bundle(name: str, config: ExperimentConfig) -> WorkloadBundle:
-    """Build (or fetch from cache) the workload bundle of one dataset."""
+    """Build (or fetch from cache) the workload bundle of one dataset.
+
+    Scenario definitions carried by the configuration take precedence over
+    the process registry, so worker processes rebuild exactly the workload
+    the parent described.
+    """
     key = _cache_key(name, config)
     if key in _BUNDLE_CACHE:
         return _BUNDLE_CACHE[key]
     dataset = load_dataset(
-        name, num_nodes=config.num_nodes_override.get(name), seed=config.seed
+        name,
+        num_nodes=config.num_nodes_override.get(name),
+        seed=config.seed,
+        spec=config.effective_scenario(name),
     )
     model = build_model_for_dataset(dataset, seed=config.seed)
     workloads = build_model_workloads(model)

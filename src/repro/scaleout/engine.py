@@ -76,6 +76,9 @@ def _shard_cache_key(
         config.target_cluster_nodes,
         num_chips,
         method,
+        # Scenario datasets shard by their full definition, not just a name
+        # (including registry-resolved scenarios the config does not carry).
+        config.effective_scenario(dataset),
     )
 
 

@@ -186,6 +186,7 @@ def test_config_fingerprint_covers_every_field(config):
         "target_cluster_nodes",
         "gcnax_tile",
         "num_nodes_override",
+        "scenarios",
     }
 
 
