@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Run the fixed benchmark ladder and append ``BENCH_<n>.json`` here.
+
+Equivalent to ``python -m repro bench`` (same flags, same output); kept
+as a script so the performance trajectory can be regenerated without
+knowing the CLI:
+
+    PYTHONPATH=src python benchmarks/perf.py
+    PYTHONPATH=src python benchmarks/perf.py --rungs grow-10k --repeats 3
+
+Each ``BENCH_<n>.json`` records wall-clock, peak RSS, the simulated
+metrics and a scenario digest per rung; see ``repro.bench`` for the
+schema and ``docs/architecture.md`` for how the trajectory is used.
+"""
+
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":
+    # Make ``import repro`` work when invoked as a plain script from the
+    # repository root without PYTHONPATH.
+    src = Path(__file__).resolve().parent.parent / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+    from repro.bench.runner import main
+
+    sys.exit(main())

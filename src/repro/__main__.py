@@ -21,6 +21,10 @@ Commands:
   (``--json`` emits canonical ``RunResult`` payloads).
 * ``report``                     — render previously computed suite/DSE/
   scale-out results without recomputing anything.
+* ``bench``                      — run the fixed benchmark ladder and
+  append the measurements as ``benchmarks/BENCH_<n>.json`` (the
+  repository's performance trajectory), failing on wall-clock
+  regressions beyond the allowed factor.
 
 Examples::
 
@@ -42,6 +46,8 @@ Examples::
     python -m repro scaleout --chips 16 --topology mesh --link-bandwidth 64
     python -m repro report fig20_speedup
     python -m repro report dse_grow-smoke
+    python -m repro bench                          # default ladder -> BENCH_<n>.json
+    python -m repro bench --rungs grow-10k --repeats 3   # CI smoke rung
 """
 
 from __future__ import annotations
@@ -247,6 +253,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true", help="recompute even when a cached chip run exists"
     )
     _add_config_arguments(scaleout_parser)
+
+    subparsers.add_parser(
+        "bench",
+        help="run the benchmark ladder and append BENCH_<n>.json",
+        add_help=False,
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="render previously computed suite, DSE or scale-out results"
@@ -769,7 +781,14 @@ def _cmd_report(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw and raw[0] == "bench":
+        # The bench verb owns its argument parsing (shared with
+        # benchmarks/perf.py), so hand everything after the verb through.
+        from repro.bench.runner import main as bench_main
+
+        return bench_main(raw[1:])
+    args = _build_parser().parse_args(raw)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "datasets":

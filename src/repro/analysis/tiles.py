@@ -8,9 +8,11 @@ a 64-byte minimum access granularity (Figure 6).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.accelerators.base import NNZ_BYTES
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.tiling import iter_tiles, tile_nnz_histogram
+from repro.sparse.tiling import occupied_tile_counts, tile_nnz_histogram
 
 
 def tile_nnz_bins(
@@ -35,13 +37,13 @@ def effective_bandwidth_utilization(
     bytes are the tile's non-zeros (value + index).  This is how the paper
     measures the Figure 6 utilisation.
     """
-    requested = 0
-    transferred = 0
-    for tile in iter_tiles(matrix, tile_rows, tile_cols, skip_empty=True):
-        tile_bytes = tile.nnz * NNZ_BYTES
-        requested += tile_bytes
-        lines = -(-tile_bytes // access_granularity)
-        transferred += max(1, lines) * access_granularity
+    _tile_ids, counts = occupied_tile_counts(matrix, tile_rows, tile_cols)
+    if counts.size == 0:
+        return 0.0
+    tile_bytes = counts * NNZ_BYTES
+    requested = int(tile_bytes.sum())
+    lines = np.maximum(1, -(-tile_bytes // access_granularity))
+    transferred = int(lines.sum()) * access_granularity
     if transferred == 0:
         return 0.0
     return min(1.0, requested / transferred)

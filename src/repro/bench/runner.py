@@ -1,0 +1,215 @@
+"""The bench driver shared by ``repro bench`` and ``benchmarks/perf.py``.
+
+Runs the requested rungs (each in its own worker process by default),
+emits the next ``BENCH_<n>.json``, and compares wall-clock against the
+previous document in the directory — exiting non-zero when any rung
+regressed by more than the allowed factor, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.bench import emit
+from repro.bench.ladder import DEFAULT_LADDER, FULL_LADDER, RUNGS, run_rung
+
+
+def _worker_environment() -> dict[str, str]:
+    """Child env with the package's source root on PYTHONPATH."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src_root + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _run_worker_once(name: str) -> dict:
+    """Measure one rung once in a fresh interpreter (see ``repro.bench.worker``)."""
+    command = [sys.executable, "-m", "repro.bench.worker", name, "1"]
+    proc = subprocess.run(
+        command, capture_output=True, text=True, env=_worker_environment()
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench worker for rung {name!r} failed "
+            f"(exit {proc.returncode}):\n{proc.stderr.strip()}"
+        )
+    # The sample is the last stdout line; the rung's own output went to stderr.
+    for line in reversed(proc.stdout.strip().splitlines()):
+        line = line.strip()
+        if line.startswith("{"):
+            return json.loads(line)
+    raise RuntimeError(f"bench worker for rung {name!r} printed no sample")
+
+
+def _run_rung_isolated(name: str, repeats: int) -> dict:
+    """Run every repeat in its own interpreter and merge the samples.
+
+    A repeat inside one process would rerun only the cycle model — the
+    dataset and preprocessing bundles are memoised per process — so each
+    repeat gets a cold interpreter and the merged record keeps the
+    minimum wall, the maximum RSS and the (identical) metrics.
+    """
+    merged = _run_worker_once(name)
+    for _ in range(repeats - 1):
+        sample = _run_worker_once(name)
+        if sample["metrics"] != merged["metrics"]:
+            raise RuntimeError(
+                f"rung {name!r} is not deterministic: repeat metrics differ"
+            )
+        merged["wall_samples"].extend(sample["wall_samples"])
+        merged["peak_rss_kb"] = max(merged["peak_rss_kb"], sample["peak_rss_kb"])
+    merged["wall_seconds"] = min(merged["wall_samples"])
+    return merged
+
+
+def run_bench(
+    rungs: list[str] | None = None,
+    full: bool = False,
+    repeats: int = 1,
+    bench_dir: Path | str = emit.DEFAULT_BENCH_DIR,
+    isolated: bool = True,
+    max_ratio: float = 2.0,
+    notes: str = "",
+    emit_json: bool = True,
+    out=sys.stdout,
+) -> int:
+    """Run the ladder, emit the next document, report regressions.
+
+    Returns the process exit code: 0 on success, 1 when any comparable
+    rung regressed past ``max_ratio`` against the previous document.
+    """
+    names = list(rungs) if rungs else list(FULL_LADDER if full else DEFAULT_LADDER)
+    unknown = [name for name in names if name not in RUNGS]
+    if unknown:
+        raise ValueError(f"unknown bench rung(s) {unknown}; choose from {sorted(RUNGS)}")
+
+    bench_dir = Path(bench_dir)
+    previous = None
+    previous_path = emit.latest_bench_path(bench_dir)
+    if previous_path is not None:
+        previous = emit.load_bench(previous_path)
+
+    samples = []
+    for name in names:
+        print(f"  running {name} ...", file=out, flush=True)
+        if isolated:
+            sample = _run_rung_isolated(name, repeats)
+        else:
+            sample = run_rung(name, repeats=repeats)
+        print(
+            f"    {sample['wall_seconds']:.3f}s wall, "
+            f"{sample['peak_rss_kb'] / 1024:.0f} MB peak RSS",
+            file=out,
+        )
+        samples.append(sample)
+
+    document = emit.build_document(samples, notes=notes)
+    exit_code = 0
+    if emit_json:
+        path = emit.write_bench(document, bench_dir)
+        print(f"wrote {path}", file=out)
+
+    if previous is not None:
+        comparisons = emit.compare_documents(previous, document, max_ratio=max_ratio)
+        for row in comparisons:
+            if not row["comparable"]:
+                print(
+                    f"  {row['rung']}: scenario changed, not comparable", file=out
+                )
+                continue
+            verdict = "REGRESSED" if row["regressed"] else "ok"
+            print(
+                f"  {row['rung']}: {row['previous_wall_seconds']:.3f}s -> "
+                f"{row['wall_seconds']:.3f}s  (x{row['ratio']:.2f}, {verdict})",
+                file=out,
+            )
+            if row["regressed"]:
+                exit_code = 1
+        if exit_code:
+            print(
+                f"wall-clock regression beyond x{max_ratio:g} vs "
+                f"{previous_path.name}",
+                file=out,
+            )
+    return exit_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the fixed benchmark ladder and append BENCH_<n>.json.",
+    )
+    parser.add_argument(
+        "--rungs",
+        nargs="+",
+        default=None,
+        metavar="RUNG",
+        help=f"rungs to run (default ladder: {', '.join(DEFAULT_LADDER)}; "
+        f"known: {', '.join(sorted(RUNGS))})",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="include the 1M-node rung (minutes)"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="repeats per rung; wall_seconds records the minimum (default 1)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=emit.DEFAULT_BENCH_DIR,
+        help=f"directory of the BENCH_<n>.json trajectory (default {emit.DEFAULT_BENCH_DIR})",
+    )
+    parser.add_argument(
+        "--in-process",
+        action="store_true",
+        help="run rungs in this interpreter instead of per-rung workers "
+        "(faster, but RSS figures become cumulative)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        metavar="RATIO",
+        help="fail when a rung's wall-clock exceeds RATIO times the previous "
+        "document's (default 2.0)",
+    )
+    parser.add_argument(
+        "--notes", default="", help="free-form note stored in the document"
+    )
+    parser.add_argument(
+        "--no-emit",
+        action="store_true",
+        help="measure and compare without writing a new BENCH_<n>.json",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.repeats < 1:
+        raise SystemExit("--repeats must be at least 1")
+    try:
+        return run_bench(
+            rungs=args.rungs,
+            full=args.full,
+            repeats=args.repeats,
+            bench_dir=args.bench_dir,
+            isolated=not args.in_process,
+            max_ratio=args.max_regression,
+            notes=args.notes,
+            emit_json=not args.no_emit,
+        )
+    except (ValueError, RuntimeError, emit.BenchSchemaError) as error:
+        raise SystemExit(str(error)) from error

@@ -1,0 +1,37 @@
+"""Per-rung subprocess entry: ``python -m repro.bench.worker <rung> [repeats]``.
+
+Running each rung in a fresh interpreter keeps the measurements honest:
+no warm module caches, no shared run memo, and a peak-RSS figure that
+belongs to that rung alone.  The sample record is printed as a single
+JSON line on stdout; everything else the rung prints goes to stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or len(argv) > 2:
+        print("usage: python -m repro.bench.worker <rung> [repeats]", file=sys.stderr)
+        return 2
+    name = argv[0]
+    repeats = int(argv[1]) if len(argv) == 2 else 1
+
+    from repro.bench.ladder import run_rung
+
+    # Anything the simulators print must not corrupt the JSON line.
+    stdout = sys.stdout
+    sys.stdout = sys.stderr
+    try:
+        sample = run_rung(name, repeats=repeats)
+    finally:
+        sys.stdout = stdout
+    print(json.dumps(sample))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,18 @@ from repro.core.preprocess import GrowPreprocessor, PreprocessPlan
 from repro.core.runahead import RunaheadModel
 
 
+def _sorted_run_count(values: np.ndarray) -> int:
+    """Number of distinct values in a non-decreasing array.
+
+    The streaming loop's per-cluster row slices preserve the row-major
+    non-zero order, so counting value runs equals ``np.unique(...).size``
+    without the redundant sort.
+    """
+    if values.size == 0:
+        return 0
+    return int(np.count_nonzero(values[1:] != values[:-1])) + 1
+
+
 @dataclass
 class ClusterStats:
     """Per-cluster accounting of one aggregation phase (used by the multi-PE model)."""
@@ -136,6 +148,25 @@ class GrowSimulator:
         trace = RowStationaryDataflow.trace(phase.sparse)
         cluster_of_nnz = plan.cluster_of_node[trace.row_of_nnz] if trace.nnz else np.empty(0, dtype=np.int64)
 
+        # Group the non-zero stream by cluster label once (stable, so each
+        # group keeps streaming order) instead of scanning the whole stream
+        # with a fresh boolean mask per cluster: each cluster's slice below is
+        # element-for-element the array the mask produced, at O(nnz log nnz)
+        # total instead of O(nnz * num_clusters).
+        # A stable argsort of integer keys is a radix sort whose pass count
+        # scales with the key width; cluster ids are tiny, so narrowing the
+        # dtype first yields the identical permutation in fewer passes.
+        sort_keys = cluster_of_nnz
+        if plan.num_clusters <= np.iinfo(np.uint16).max:
+            sort_keys = cluster_of_nnz.astype(np.uint16)
+        elif plan.num_clusters <= np.iinfo(np.int32).max:
+            sort_keys = cluster_of_nnz.astype(np.int32)
+        nnz_group_order = np.argsort(sort_keys, kind="stable")
+        grouped_labels = cluster_of_nnz[nnz_group_order]
+        grouped_cols = trace.col_of_nnz[nnz_group_order]
+        grouped_rows = trace.row_of_nnz[nnz_group_order]
+        empty_ids = np.empty(0, dtype=np.int64)
+
         total_hits = 0
         total_misses = 0
         total_rows_with_miss = 0
@@ -144,9 +175,14 @@ class GrowSimulator:
         cluster_stats: list[ClusterStats] = []
 
         for cluster_id, (nodes, hdn_list) in enumerate(zip(plan.clusters, plan.hdn_lists)):
-            mask = cluster_of_nnz == plan.cluster_of_node[nodes[0]] if nodes.size else np.zeros(0, dtype=bool)
-            cols = trace.col_of_nnz[mask]
-            rows = trace.row_of_nnz[mask]
+            if nodes.size:
+                label = plan.cluster_of_node[nodes[0]]
+                start = np.searchsorted(grouped_labels, label, side="left")
+                end = np.searchsorted(grouped_labels, label, side="right")
+                cols = grouped_cols[start:end]
+                rows = grouped_rows[start:end]
+            else:
+                cols = rows = empty_ids
             usable_hdns = hdn_list[:cache_rows] if cfg.enable_hdn_cache else hdn_list[:0]
 
             if cfg.hdn_replacement == "lru" and cfg.enable_hdn_cache:
@@ -161,7 +197,7 @@ class GrowSimulator:
                     # Approximate the missed-row count by scaling rows touched
                     # with the miss ratio (an exact count would need the full
                     # per-row replay the pinned path avoids).
-                    touched_rows = int(np.unique(rows).size)
+                    touched_rows = _sorted_run_count(rows)
                     missed_rows = int(round(touched_rows * (misses / cols.size)))
                     cache.hits += hits
                     cache.misses += misses
@@ -174,7 +210,7 @@ class GrowSimulator:
                     hit_mask = cache.lookup_batch(cols)
                     hits = int(hit_mask.sum())
                     misses = int(cols.size - hits)
-                    missed_rows = int(np.unique(rows[~hit_mask]).size)
+                    missed_rows = _sorted_run_count(rows[~hit_mask])
                 else:
                     hits = misses = missed_rows = 0
             fill_bytes += cluster_fill

@@ -35,19 +35,36 @@ class HDNIdList:
             raise ValueError(
                 f"HDN ID list overflow: {self.node_ids.size} ids, capacity {self.capacity}"
             )
+        # ``lookup`` binary-searches the list, so keep it sorted even when the
+        # ids are injected directly instead of via ``load``.
+        self.node_ids = np.sort(self.node_ids)
 
     def load(self, node_ids: np.ndarray) -> None:
         """Replace the list contents with a new cluster's HDN ids."""
-        node_ids = np.unique(np.asarray(node_ids, dtype=np.int64))
+        # Sorted-unique by sort + adjacent-difference mask: identical to
+        # ``np.unique`` (whose output is sorted) without its hash path, and
+        # the sorted invariant lets ``lookup`` use binary search.
+        node_ids = np.sort(np.asarray(node_ids, dtype=np.int64))
+        if node_ids.size > 1:
+            keep = np.empty(node_ids.shape, dtype=bool)
+            keep[0] = True
+            np.not_equal(node_ids[1:], node_ids[:-1], out=keep[1:])
+            node_ids = node_ids[keep]
         if node_ids.size > self.capacity:
             node_ids = node_ids[: self.capacity]
         self.node_ids = node_ids
 
     def lookup(self, columns: np.ndarray) -> np.ndarray:
         """Boolean hit mask for a batch of column ids (CAM lookups)."""
-        if self.node_ids.size == 0:
+        ids = self.node_ids
+        if ids.size == 0:
             return np.zeros(np.asarray(columns).shape, dtype=bool)
-        return np.isin(np.asarray(columns, dtype=np.int64), self.node_ids)
+        columns = np.asarray(columns, dtype=np.int64)
+        # ``load`` keeps the list sorted, so membership is one binary search
+        # per column (the mask is the same set test ``np.isin`` performs).
+        pos = np.searchsorted(ids, columns)
+        pos[pos == ids.size] = 0
+        return ids[pos] == columns
 
     @property
     def size(self) -> int:

@@ -73,15 +73,25 @@ def _top_degree_within(
     restricted to the cluster's own nodes (the paper's per-cluster HDN
     selection).
     """
-    counts = np.zeros(adjacency.n_cols, dtype=np.int64)
-    # Count column references from the cluster's rows only.
+    # Count column references from the cluster's rows only.  The rows' index
+    # slices are gathered with one fancy-index (an arange shifted per row by
+    # ``repeat``), which yields exactly the concatenation of the per-row
+    # slices without a Python-level loop.
     starts = adjacency.indptr[cluster_nodes]
     ends = adjacency.indptr[cluster_nodes + 1]
     lengths = ends - starts
-    if lengths.sum() == 0:
+    total = int(lengths.sum())
+    if total == 0:
         return np.empty(0, dtype=np.int64)
-    gather = np.concatenate([adjacency.indices[s:e] for s, e in zip(starts, ends)])
-    np.add.at(counts, gather, 1)
+    if cluster_nodes.size == adjacency.n_rows and np.array_equal(
+        cluster_nodes, np.arange(adjacency.n_rows)
+    ):
+        gather = adjacency.indices
+    else:
+        offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        take = np.repeat(starts - offsets, lengths) + np.arange(total)
+        gather = adjacency.indices[take]
+    counts = np.bincount(gather, minlength=adjacency.n_cols)
     if intra_only:
         mask = np.zeros(adjacency.n_cols, dtype=bool)
         mask[cluster_nodes] = True
@@ -162,16 +172,48 @@ class GrowPreprocessor:
         nodes, which degrades gracefully on graphs with weak community
         structure (e.g. Reddit) and never lowers the hit rate.
         """
+        assignment = partition.assignment
+        num_clusters = partition.num_clusters
+        # Group nodes by cluster with one stable argsort: within a cluster the
+        # stable sort preserves ascending node ids, so each slice equals the
+        # ``np.where(assignment == cluster_id)`` scan it replaces.
+        node_order = np.argsort(assignment, kind="stable")
+        sizes = np.bincount(assignment, minlength=num_clusters)
+        bounds = np.concatenate([[0], np.cumsum(sizes)])
+
+        # Derive every cluster's HDN list in one batched pass: count distinct
+        # (cluster, column) reference pairs, then order candidates per cluster
+        # by (count desc, column asc) — the exact order the per-cluster
+        # ``np.argsort(-counts, kind="stable")`` produced — and keep the top
+        # ``hdn_list_capacity`` of each.
+        n_cols = adjacency.n_cols
+        row_of_nnz = np.repeat(np.arange(adjacency.n_rows), np.diff(adjacency.indptr))
+        pair_keys = assignment[row_of_nnz] * n_cols + adjacency.indices
+        unique_pairs, pair_counts = np.unique(pair_keys, return_counts=True)
+        pair_cluster = unique_pairs // n_cols
+        pair_col = unique_pairs % n_cols
+        if intra_only:
+            in_range = pair_col < assignment.size
+            keep = in_range.copy()
+            keep[in_range] = assignment[pair_col[in_range]] == pair_cluster[in_range]
+            pair_cluster = pair_cluster[keep]
+            pair_col = pair_col[keep]
+            pair_counts = pair_counts[keep]
+        candidate_order = np.lexsort((pair_col, -pair_counts, pair_cluster))
+        cand_cluster = pair_cluster[candidate_order]
+        cand_col = pair_col[candidate_order]
+        cand_bounds = np.searchsorted(cand_cluster, np.arange(num_clusters + 1))
+
         clusters: list[np.ndarray] = []
         hdn_lists: list[np.ndarray] = []
-        for cluster_id in range(partition.num_clusters):
-            nodes = np.where(partition.assignment == cluster_id)[0].astype(np.int64)
+        for cluster_id in range(num_clusters):
+            nodes = node_order[bounds[cluster_id] : bounds[cluster_id + 1]].astype(np.int64)
             if nodes.size == 0:
                 continue
             clusters.append(nodes)
-            hdn_lists.append(
-                _top_degree_within(adjacency, nodes, self.hdn_list_capacity, intra_only=intra_only)
-            )
+            start = cand_bounds[cluster_id]
+            end = min(cand_bounds[cluster_id + 1], start + self.hdn_list_capacity)
+            hdn_lists.append(cand_col[start:end].astype(np.int64))
         return PreprocessPlan(
             num_nodes=adjacency.n_rows,
             cluster_of_node=partition.assignment.copy(),

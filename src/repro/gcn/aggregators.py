@@ -45,14 +45,25 @@ def sample_neighbors(
     return sampled
 
 
+def _nonempty_row_segments(adjacency: CSRMatrix) -> tuple[np.ndarray, np.ndarray]:
+    """Rows with at least one neighbour and their CSR segment starts.
+
+    Because empty rows are excluded, consecutive segment starts bound exactly
+    one row's slice each, which is what ``ufunc.reduceat`` needs to aggregate
+    every neighbourhood in a single batched call.
+    """
+    nonempty = np.flatnonzero(adjacency.row_nnz())
+    return nonempty, adjacency.indptr[nonempty]
+
+
 def mean_aggregate(adjacency: CSRMatrix, features: np.ndarray) -> np.ndarray:
     """SAGEConv mean aggregator: average of the neighbours' feature vectors."""
     features = np.asarray(features, dtype=np.float64)
     out = np.zeros((adjacency.n_rows, features.shape[1]), dtype=np.float64)
-    for i in range(adjacency.n_rows):
-        cols, _vals = adjacency.row(i)
-        if cols.size:
-            out[i] = features[cols].mean(axis=0)
+    nonempty, seg_starts = _nonempty_row_segments(adjacency)
+    if nonempty.size:
+        sums = np.add.reduceat(features[adjacency.indices], seg_starts, axis=0)
+        out[nonempty] = sums / adjacency.row_nnz()[nonempty][:, None]
     return out
 
 
@@ -60,10 +71,9 @@ def max_pool_aggregate(adjacency: CSRMatrix, features: np.ndarray) -> np.ndarray
     """SAGEConv pool aggregator: element-wise max over the neighbours."""
     features = np.asarray(features, dtype=np.float64)
     out = np.zeros((adjacency.n_rows, features.shape[1]), dtype=np.float64)
-    for i in range(adjacency.n_rows):
-        cols, _vals = adjacency.row(i)
-        if cols.size:
-            out[i] = features[cols].max(axis=0)
+    nonempty, seg_starts = _nonempty_row_segments(adjacency)
+    if nonempty.size:
+        out[nonempty] = np.maximum.reduceat(features[adjacency.indices], seg_starts, axis=0)
     return out
 
 
@@ -103,14 +113,24 @@ def gat_attention_aggregate(
     src_score = features @ np.asarray(attention_src, dtype=np.float64)
     dst_score = features @ np.asarray(attention_dst, dtype=np.float64)
     out = np.zeros_like(features)
-    for i in range(adjacency.n_rows):
-        cols, _vals = adjacency.row(i)
-        if cols.size == 0:
-            continue
-        scores = src_score[i] + dst_score[cols]
-        scores = np.where(scores > 0, scores, leaky_relu_slope * scores)
-        weights = softmax(scores)
-        out[i] = weights @ features[cols]
+    nonempty, seg_starts = _nonempty_row_segments(adjacency)
+    if nonempty.size == 0:
+        return out
+    # Per-edge attention scores, then a segment softmax over each node's
+    # neighbourhood: subtract the segment max (numerical stability, exactly
+    # as the dense softmax() does), exponentiate, normalise by segment sums.
+    row_nnz = adjacency.row_nnz()
+    row_of_edge = np.repeat(np.arange(adjacency.n_rows), row_nnz)
+    scores = src_score[row_of_edge] + dst_score[adjacency.indices]
+    scores = np.where(scores > 0, scores, leaky_relu_slope * scores)
+    seg_max = np.maximum.reduceat(scores, seg_starts)
+    seg_of_edge = np.repeat(np.arange(nonempty.size), row_nnz[nonempty])
+    exp = np.exp(scores - seg_max[seg_of_edge])
+    seg_sum = np.add.reduceat(exp, seg_starts)
+    weights = exp / seg_sum[seg_of_edge]
+    out[nonempty] = np.add.reduceat(
+        weights[:, None] * features[adjacency.indices], seg_starts, axis=0
+    )
     return out
 
 

@@ -30,11 +30,13 @@ def generate_feature_matrix(
         rng = np.random.default_rng(0)
     if not 0.0 <= density <= 1.0:
         raise ValueError(f"density must be in [0, 1], got {density}")
-    matrix = np.abs(rng.standard_normal((num_rows, num_cols)))
+    matrix = rng.standard_normal((num_rows, num_cols))
+    np.abs(matrix, out=matrix)
     if density >= 1.0:
         return matrix
     mask = rng.random((num_rows, num_cols)) < density
-    return matrix * mask
+    matrix *= mask
+    return matrix
 
 
 def generate_feature_csr(

@@ -15,6 +15,24 @@ import numpy as np
 from repro.graph.graph import Graph
 
 
+def _merge_sorted_unique(unique_keys: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Sorted-unique union of an already-unique key set and a new batch.
+
+    Identical output to ``np.unique(np.concatenate([unique_keys, keys]))``
+    (sorted ascending, duplicates dropped) via sort + adjacent-difference
+    mask, which avoids ``np.unique``'s hash-table path — the single most
+    expensive step of edge-batch deduplication at million-edge sizes.
+    """
+    merged = np.concatenate([unique_keys, keys])
+    if merged.size == 0:
+        return merged
+    merged.sort()
+    keep = np.empty(merged.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+    return merged[keep]
+
+
 def _edgeless_graph(name: str, communities: np.ndarray | None = None) -> Graph:
     """The degenerate single-node graph every generator collapses to."""
     empty = np.empty(0, dtype=np.int64)
@@ -188,7 +206,7 @@ def chung_lu_graph(
         lo = np.minimum(src, dst)
         hi = np.maximum(src, dst)
         keys = lo * np.int64(num_nodes) + hi
-        unique_keys = np.unique(np.concatenate([unique_keys, keys]))
+        unique_keys = _merge_sorted_unique(unique_keys, keys)
     if unique_keys.size > target_edges:
         unique_keys = rng.permutation(unique_keys)[:target_edges]
     src = (unique_keys // num_nodes).astype(np.int64)
@@ -243,30 +261,41 @@ def powerlaw_cluster_graph(
         raise ValueError("num_nodes must be positive")
     if num_nodes == 1:
         return _edgeless_graph(name)
-    m = max(1, int(round(average_degree / 2)))
-    if num_nodes <= m:
-        raise ValueError("num_nodes must exceed average_degree / 2")
+    # Like the other generators, degenerate sizes saturate instead of raising:
+    # with fewer than m + 1 nodes each newcomer simply attaches to everyone
+    # already present.
+    m = min(max(1, int(round(average_degree / 2))), num_nodes - 1)
     src_list: list[int] = []
     dst_list: list[int] = []
-    # Repeated-target list implements preferential attachment: nodes appear
+    # Repeated-target array implements preferential attachment: nodes appear
     # once per incident edge, so sampling uniformly from it is degree-biased.
-    targets = list(range(m))
-    repeated: list[int] = list(range(m))
+    # Preallocated at its final size (m seeds + 2 entries per edge) so each
+    # draw is O(1) instead of re-materialising a growing Python list.
+    repeated = np.empty(m + 2 * m * (num_nodes - m), dtype=np.int64)
+    repeated[:m] = np.arange(m)
+    repeated_size = m
+    # Incremental adjacency: out_neighbors[x] then in_neighbors[x], each in
+    # edge-insertion order, concatenate to exactly the neighbour pool the
+    # original edge-list scan produced.
+    out_neighbors: list[list[int]] = [[] for _ in range(num_nodes)]
+    in_neighbors: list[list[int]] = [[] for _ in range(num_nodes)]
     for new_node in range(m, num_nodes):
         chosen: set[int] = set()
         first_target: int | None = None
         while len(chosen) < m:
-            if first_target is not None and rng.random() < triangle_prob and repeated:
+            if first_target is not None and rng.random() < triangle_prob and repeated_size:
                 # Triangle step: connect to a random neighbour of the previous target.
-                neighbor_pool = [
-                    d for s, d in zip(src_list, dst_list) if s == first_target
-                ] + [s for s, d in zip(src_list, dst_list) if d == first_target]
+                neighbor_pool = out_neighbors[first_target] + in_neighbors[first_target]
                 if neighbor_pool:
                     candidate = int(rng.choice(neighbor_pool))
                 else:
-                    candidate = int(rng.choice(repeated))
+                    candidate = int(rng.choice(repeated[:repeated_size]))
             else:
-                candidate = int(rng.choice(repeated)) if repeated else int(rng.integers(0, new_node))
+                candidate = (
+                    int(rng.choice(repeated[:repeated_size]))
+                    if repeated_size
+                    else int(rng.integers(0, new_node))
+                )
             if candidate != new_node and candidate not in chosen:
                 chosen.add(candidate)
                 if first_target is None:
@@ -274,9 +303,11 @@ def powerlaw_cluster_graph(
         for target in chosen:
             src_list.append(new_node)
             dst_list.append(target)
-            repeated.append(new_node)
-            repeated.append(target)
-        targets.append(new_node)
+            out_neighbors[new_node].append(target)
+            in_neighbors[target].append(new_node)
+            repeated[repeated_size] = new_node
+            repeated[repeated_size + 1] = target
+            repeated_size += 2
     return Graph(
         num_nodes=num_nodes,
         src=np.asarray(src_list, dtype=np.int64),
@@ -357,7 +388,7 @@ def rmat_graph(
         lo = np.minimum(src, dst)
         hi = np.maximum(src, dst)
         keys = lo * np.int64(num_nodes) + hi
-        unique_keys = np.unique(np.concatenate([unique_keys, keys]))
+        unique_keys = _merge_sorted_unique(unique_keys, keys)
     if unique_keys.size > target_edges:
         unique_keys = rng.permutation(unique_keys)[:target_edges]
     return Graph(

@@ -111,11 +111,25 @@ def bfs_partition(graph: Graph, num_clusters: int, seed: int = 0) -> PartitionRe
     )
 
 
+def _adjacency_lists(graph: Graph) -> list[list[int]]:
+    """Python adjacency lists of a graph (plain ints, one list per node).
+
+    Extracted once per partitioning call and shared between the label
+    propagation and refinement sweeps, which both iterate neighbourhoods
+    node-at-a-time.
+    """
+    adj = graph.adjacency()
+    indptr = adj.indptr.tolist()
+    flat_indices = adj.indices.tolist()
+    return [flat_indices[indptr[i] : indptr[i + 1]] for i in range(graph.num_nodes)]
+
+
 def _label_propagation(
     graph: Graph,
     rng: np.random.Generator,
     max_sweeps: int = 10,
     max_label_size: float | None = None,
+    neighbor_lists: list[list[int]] | None = None,
 ) -> np.ndarray:
     """Community detection by size-constrained asynchronous label propagation.
 
@@ -131,37 +145,153 @@ def _label_propagation(
     may keep the one it already has — which keeps distinct communities
     distinct no matter how skewed the degree distribution is.
     """
-    adj = graph.adjacency()
     n = graph.num_nodes
-    labels = np.arange(n, dtype=np.int64)
-    label_sizes = np.ones(n, dtype=np.int64)
-    indptr, indices = adj.indptr, adj.indices
+    cap = float("inf") if max_label_size is None else max_label_size
+    # The sweep is asynchronous (every decision sees the labels left by the
+    # previous one), so it cannot be batched into array ops without changing
+    # results.  Instead the whole sweep runs on plain Python ints over a
+    # pre-extracted adjacency list, with per-element work pushed into C.
+    #
+    # Every decision is identical to the original array formulation — the
+    # winner is the neighbourhood's most common label, ties broken by the
+    # lowest label, size-capped labels skipped unless already held (an
+    # order-independent argmax over the histogram, so it does not matter in
+    # which order candidate labels are inspected).
+    #
+    # After the first ``fresh_sweeps`` sweeps the churn collapses to a few
+    # percent of nodes, so the sweep switches to incremental evaluation:
+    # each node's neighbour-label histogram is kept up to date by O(degree)
+    # delta pushes whenever a neighbour changes label (valid because the
+    # adjacency of an undirected graph is symmetric), and a node is skipped
+    # outright — provably deciding "stay" again — when
+    #   * its previous decision was "stay",
+    #   * no neighbour changed label since that decision (``nb_stamp``), and
+    #   * every candidate that was skipped for being at the size cap is
+    #     still at the cap (a capped label turning *allowed* could out-vote
+    #     the current label, but an allowed loser turning capped never
+    #     changes an argmax).
+    # The three cases are packed into one signed stamp per node: ``> 0``
+    # clean stay at that step, ``< 0`` stay with exactly one cap-skipped
+    # candidate (held in ``cap_of``), ``0`` must re-evaluate.
+    from collections import Counter
+
+    count_into = getattr(__import__("collections"), "_count_elements", None)
+    if count_into is None:  # pragma: no cover - non-CPython fallback
+        def count_into(mapping, iterable):
+            mapping.update(Counter(iterable))
+
+    if neighbor_lists is None:
+        neighbor_lists = _adjacency_lists(graph)
+    labels = list(range(n))
+    label_sizes = [1] * n
+    label_of = labels.__getitem__
+    counts_of: list[dict[int, int]] | None = None
+    nb_stamp = [0] * n
+    last_eval = [0] * n
+    cap_of = [0] * n
+    step = 0
+    fresh_sweeps = 2 if graph.undirected else max_sweeps
     for _sweep in range(max_sweeps):
+        if _sweep == fresh_sweeps:
+            # Build the persistent histograms and reset the stamps: skips
+            # are only valid for evaluations made while deltas are tracked.
+            counts_of = []
+            build = counts_of.append
+            for nb in neighbor_lists:
+                c: dict[int, int] = {}
+                count_into(c, map(label_of, nb))
+                build(c)
+            last_eval = [0] * n
         changed = 0
-        for node in rng.permutation(n):
-            start, end = indptr[node], indptr[node + 1]
-            if end == start:
-                continue
-            current = int(labels[node])
-            neighbor_labels = labels[indices[start:end]]
-            counts = np.bincount(neighbor_labels)
-            candidates = np.unique(neighbor_labels)
-            if max_label_size is not None:
-                open_slots = (label_sizes[candidates] < max_label_size) | (
-                    candidates == current
-                )
-                candidates = candidates[open_slots]
-                if candidates.size == 0:
+        if counts_of is None:
+            for node in rng.permutation(n).tolist():
+                neighbors = neighbor_lists[node]
+                if not neighbors:
                     continue
-            best = int(candidates[np.argmax(counts[candidates])])
-            if counts[best] > 0 and best != current:
+                current = labels[node]
+                if len(neighbors) == 1:
+                    best = labels[neighbors[0]]
+                    if best == current or label_sizes[best] >= cap:
+                        continue
+                else:
+                    counts: dict[int, int] = {}
+                    count_into(counts, map(label_of, neighbors))
+                    best = -1
+                    best_count = 0
+                    for label, count in counts.items():
+                        if count < best_count or (count == best_count and label > best):
+                            continue
+                        if label != current and label_sizes[label] >= cap:
+                            continue
+                        best = label
+                        best_count = count
+                    if best < 0 or best == current:
+                        continue
                 labels[node] = best
                 label_sizes[current] -= 1
                 label_sizes[best] += 1
                 changed += 1
+        else:
+            for node in rng.permutation(n).tolist():
+                step += 1
+                le = last_eval[node]
+                if le > 0:
+                    if nb_stamp[node] < le:
+                        continue
+                elif le < 0:
+                    if nb_stamp[node] < -le and label_sizes[cap_of[node]] >= cap:
+                        continue
+                counts = counts_of[node]
+                if not counts:
+                    continue
+                current = labels[node]
+                if len(counts) == 1:
+                    (best,) = counts
+                    if best == current:
+                        last_eval[node] = step
+                        continue
+                    if label_sizes[best] >= cap:
+                        last_eval[node] = -step
+                        cap_of[node] = best
+                        continue
+                else:
+                    capskips = None
+                    best = -1
+                    best_count = 0
+                    for label, count in counts.items():
+                        if count < best_count or (count == best_count and label > best):
+                            continue
+                        if label != current and label_sizes[label] >= cap:
+                            capskips = label if capskips is None else True
+                            continue
+                        best = label
+                        best_count = count
+                    if best < 0 or best == current:
+                        if capskips is None:
+                            last_eval[node] = step
+                        elif capskips is True:
+                            last_eval[node] = 0
+                        else:
+                            last_eval[node] = -step
+                            cap_of[node] = capskips
+                        continue
+                last_eval[node] = 0
+                labels[node] = best
+                label_sizes[current] -= 1
+                label_sizes[best] += 1
+                changed += 1
+                for m in neighbor_lists[node]:
+                    nb_stamp[m] = step
+                    c = counts_of[m]
+                    k = c[current] - 1
+                    if k:
+                        c[current] = k
+                    else:
+                        del c[current]
+                    c[best] = c.get(best, 0) + 1
         if changed < max(1, n // 200):
             break
-    return labels
+    return np.asarray(labels, dtype=np.int64)
 
 
 def _pack_communities(
@@ -192,30 +322,96 @@ def _pack_communities(
 
 
 def _refine_boundary(
-    graph: Graph, assignment: np.ndarray, num_clusters: int, capacity: float, passes: int = 2
+    graph: Graph,
+    assignment: np.ndarray,
+    num_clusters: int,
+    capacity: float,
+    passes: int = 2,
+    neighbor_lists: list[list[int]] | None = None,
 ) -> np.ndarray:
     """Greedy boundary refinement: move nodes that reduce the edge cut."""
-    adj = graph.adjacency()
-    indptr, indices = adj.indptr, adj.indices
-    assignment = assignment.copy()
-    loads = np.bincount(assignment, minlength=num_clusters).astype(np.int64)
+    # Like label propagation, each move is visible to every later decision,
+    # so the sweep stays sequential — but runs on Python ints (O(degree) per
+    # node) instead of one O(num_clusters) ``np.bincount`` per node.  The
+    # winning cluster is the lowest id among those with the most neighbour
+    # votes, exactly as ``np.argmax`` over the dense vote vector chose it.
+    #
+    # Later passes skip nodes that provably repeat their previous "stay"
+    # decision: votes are unchanged when no neighbour moved since the node's
+    # last evaluation (``nb_stamp``, valid on symmetric adjacencies), and a
+    # stay forced purely by the capacity bound repeats while the blocking
+    # cluster is still at capacity.  The signed ``last_eval`` stamp encodes
+    # the cases exactly as in ``_label_propagation``.
+    from collections import Counter
+
+    count_into = getattr(__import__("collections"), "_count_elements", None)
+    if count_into is None:  # pragma: no cover - non-CPython fallback
+        def count_into(mapping, iterable):
+            mapping.update(Counter(iterable))
+
+    n = graph.num_nodes
+    if neighbor_lists is None:
+        neighbor_lists = _adjacency_lists(graph)
+    labels = assignment.tolist()
+    loads = np.bincount(assignment, minlength=num_clusters).tolist()
+    label_of = labels.__getitem__
+    track = graph.undirected
+    nb_stamp = [0] * n
+    last_eval = [0] * n
+    cap_of = [0] * n
+    step = 0
     for _sweep in range(passes):
         moved = 0
-        for node in range(graph.num_nodes):
-            start, end = indptr[node], indptr[node + 1]
-            if end == start:
+        for node in range(n):
+            step += 1
+            le = last_eval[node]
+            if le > 0:
+                if nb_stamp[node] < le:
+                    continue
+            elif le < 0:
+                if nb_stamp[node] < -le and loads[cap_of[node]] + 1 > capacity:
+                    continue
+            neighbors = neighbor_lists[node]
+            if not neighbors:
                 continue
-            current = assignment[node]
-            votes = np.bincount(assignment[indices[start:end]], minlength=num_clusters)
-            best = int(np.argmax(votes))
-            if best != current and votes[best] > votes[current] and loads[best] + 1 <= capacity:
-                assignment[node] = best
-                loads[current] -= 1
-                loads[best] += 1
-                moved += 1
+            current = labels[node]
+            votes: dict[int, int] = {}
+            count_into(votes, map(label_of, neighbors))
+            if len(votes) == 1:
+                # Uniform neighbourhood: the sole candidate only wins when it
+                # differs from the current cluster (then votes.get(current)
+                # is 0, so the move condition reduces to the capacity check).
+                (best,) = votes
+                best_votes = votes[best]
+            else:
+                best = -1
+                best_votes = 0
+                for cluster, count in votes.items():
+                    if count > best_votes or (count == best_votes and cluster < best):
+                        best = cluster
+                        best_votes = count
+            if best != current and best_votes > votes.get(current, 0):
+                if loads[best] + 1 <= capacity:
+                    labels[node] = best
+                    loads[current] -= 1
+                    loads[best] += 1
+                    moved += 1
+                    last_eval[node] = 0
+                    if track:
+                        for m in neighbors:
+                            nb_stamp[m] = step
+                    continue
+                if track:
+                    # Stay forced only by capacity: repeatable while the
+                    # winning cluster stays full.
+                    last_eval[node] = -step
+                    cap_of[node] = best
+                continue
+            if track:
+                last_eval[node] = step
         if moved == 0:
             break
-    return assignment
+    return np.asarray(labels, dtype=np.int64)
 
 
 def metis_like_partition(
@@ -242,9 +438,19 @@ def metis_like_partition(
         return _single_cluster_result(n)
     rng = np.random.default_rng(seed)
     capacity = balance_slack * n / num_clusters
-    labels = _label_propagation(graph, rng, max_label_size=capacity)
+    neighbor_lists = _adjacency_lists(graph)
+    labels = _label_propagation(
+        graph, rng, max_label_size=capacity, neighbor_lists=neighbor_lists
+    )
     assignment = _pack_communities(labels, num_clusters, capacity)
-    assignment = _refine_boundary(graph, assignment, num_clusters, capacity, passes=refinement_passes)
+    assignment = _refine_boundary(
+        graph,
+        assignment,
+        num_clusters,
+        capacity,
+        passes=refinement_passes,
+        neighbor_lists=neighbor_lists,
+    )
     permutation, sizes = _build_permutation(assignment, num_clusters)
     return PartitionResult(
         assignment=assignment, num_clusters=num_clusters, permutation=permutation, cluster_sizes=sizes

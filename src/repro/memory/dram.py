@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.memory.traffic import TrafficCounter
 
 GB = 1024 ** 3
@@ -94,6 +96,24 @@ class DRAMModel:
         transferred = num_elements * self.config.access_granularity
         self.traffic.record_read(label, requested, transferred)
         return transferred
+
+    def read_batch(self, label: str, requested_bytes: np.ndarray) -> int:
+        """Issue one contiguous read per batch element, in a single reduction.
+
+        Equivalent to ``sum(self.read(label, b) for b in requested_bytes)``:
+        each element is rounded up to whole lines independently, and elements
+        of zero (or negative) size — empty tiles, zero-nnz CSR row slices —
+        contribute exactly zero bytes instead of a spurious minimum-size line.
+        Returns the total bytes transferred.
+        """
+        requested_bytes = np.asarray(requested_bytes, dtype=np.int64)
+        positive = requested_bytes[requested_bytes > 0]
+        if positive.size == 0:
+            return 0
+        granularity = self.config.access_granularity
+        transferred = -(-positive // granularity) * granularity
+        self.traffic.record_read_batch(label, positive, transferred)
+        return int(transferred.sum())
 
     def write(self, label: str, num_bytes: int) -> int:
         """Write ``num_bytes`` back to DRAM (rounded up to whole lines)."""

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass
 class TrafficCounter:
@@ -38,6 +40,34 @@ class TrafficCounter:
         if num_bytes < 0:
             raise ValueError("byte counts must be non-negative")
         self.write_bytes[label] += int(num_bytes)
+
+    def record_read_batch(
+        self, label: str, requested: np.ndarray, transferred: np.ndarray
+    ) -> None:
+        """Record a whole batch of reads in one reduction.
+
+        Equivalent to calling :meth:`record_read` once per element; an empty
+        batch records exactly zero bytes (it is not an error).
+        """
+        requested = np.asarray(requested, dtype=np.int64)
+        transferred = np.asarray(transferred, dtype=np.int64)
+        if requested.shape != transferred.shape:
+            raise ValueError("requested and transferred batches must align")
+        if requested.size == 0:
+            return
+        if requested.min() < 0 or transferred.min() < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.requested_bytes[label] += int(requested.sum())
+        self.transferred_bytes[label] += int(transferred.sum())
+
+    def record_write_batch(self, label: str, num_bytes: np.ndarray) -> None:
+        """Record a batch of write-backs; an empty batch records zero bytes."""
+        num_bytes = np.asarray(num_bytes, dtype=np.int64)
+        if num_bytes.size == 0:
+            return
+        if num_bytes.min() < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.write_bytes[label] += int(num_bytes.sum())
 
     def total_read_bytes(self) -> int:
         """Total bytes read from DRAM (transferred, i.e. including overfetch)."""

@@ -15,15 +15,13 @@ from repro.sparse.csr import CSRMatrix
 
 def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
     """Convert a COO matrix to CSR, summing duplicates and sorting columns."""
+    # deduplicate() returns entries sorted row-major (ascending row, then
+    # ascending column), which is exactly CSR order — no further sort needed.
     coo = coo.deduplicate()
     n_rows, n_cols = coo.shape
-    order = np.lexsort((coo.cols, coo.rows))
-    rows = coo.rows[order]
-    cols = coo.cols[order]
-    vals = coo.vals[order]
-    counts = np.bincount(rows, minlength=n_rows)
+    counts = np.bincount(coo.rows, minlength=n_rows)
     indptr = np.concatenate([[0], np.cumsum(counts)])
-    return CSRMatrix(shape=coo.shape, indptr=indptr, indices=cols, data=vals)
+    return CSRMatrix(shape=coo.shape, indptr=indptr, indices=coo.cols.copy(), data=coo.vals.copy())
 
 
 def coo_to_csc(coo: COOMatrix) -> CSCMatrix:
@@ -63,7 +61,26 @@ def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
 
 def dense_to_csr(dense: np.ndarray) -> CSRMatrix:
     """Build a CSR matrix from a dense 2-D array."""
-    return coo_to_csr(COOMatrix.from_dense(np.asarray(dense)))
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.ndim != 2:
+        raise ValueError("dense_to_csr expects a 2-D array")
+    # Flat non-zero positions are already in row-major order with no
+    # duplicates, which is CSR order: going through COO + deduplicate would
+    # round-trip the same arrays.  Working on the flattened array needs one
+    # scan plus one 1-D gather, cheaper than ``np.nonzero`` building both
+    # coordinate arrays and a 2-D fancy index recombining them.
+    flat = np.flatnonzero(dense)
+    n_rows, n_cols = dense.shape
+    # ``flat`` is sorted, so each row's slice is bounded by where the row's
+    # first flat index would insert — one binary search per row instead of a
+    # full O(nnz) row-id materialisation and bincount.
+    indptr = np.searchsorted(flat, np.arange(n_rows + 1) * n_cols)
+    return CSRMatrix(
+        shape=dense.shape,
+        indptr=indptr,
+        indices=flat % n_cols,
+        data=dense.reshape(-1)[flat],
+    )
 
 
 def from_scipy(matrix) -> CSRMatrix:

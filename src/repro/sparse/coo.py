@@ -91,10 +91,28 @@ class COOMatrix:
             return COOMatrix.empty(self.shape)
         n_rows, n_cols = self.shape
         keys = self.rows * n_cols + self.cols
+        if keys.size == 1 or np.all(np.diff(keys) > 0):
+            # Already sorted row-major with no duplicates (the common case for
+            # matrices straight out of ``from_dense`` or a prior deduplicate):
+            # sorting and summing would reproduce the input exactly.
+            return COOMatrix(
+                shape=self.shape,
+                rows=self.rows.copy(),
+                cols=self.cols.copy(),
+                vals=self.vals.copy(),
+            )
         order = np.argsort(keys, kind="stable")
         keys = keys[order]
         vals = self.vals[order]
-        unique_keys, start = np.unique(keys, return_index=True)
+        # ``keys`` is sorted now, so the unique keys are the run starts — the
+        # adjacent-difference mask gives the same (unique_keys, first-index)
+        # pair ``np.unique(keys, return_index=True)`` computes, minus its
+        # internal re-sort.
+        mask = np.empty(keys.shape, dtype=bool)
+        mask[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+        start = np.flatnonzero(mask)
+        unique_keys = keys[start]
         summed = np.add.reduceat(vals, start)
         return COOMatrix(
             shape=self.shape,

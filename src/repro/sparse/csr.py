@@ -130,11 +130,13 @@ class CSRMatrix:
             raise ValueError(
                 f"dimension mismatch: sparse is {self.shape}, dense is {dense.shape}"
             )
+        if self.nnz == 0:
+            return np.zeros((self.n_rows, dense.shape[1]), dtype=np.float64)
         out = np.zeros((self.n_rows, dense.shape[1]), dtype=np.float64)
-        for i in range(self.n_rows):
-            cols, vals = self.row(i)
-            if cols.size:
-                out[i] = vals @ dense[cols]
+        row_nnz = self.row_nnz()
+        nonempty = np.flatnonzero(row_nnz)
+        products = self.data[:, None] * dense[self.indices]
+        out[nonempty] = np.add.reduceat(products, self.indptr[nonempty], axis=0)
         return out
 
     def select_rows(self, row_ids: np.ndarray) -> "CSRMatrix":
@@ -142,13 +144,16 @@ class CSRMatrix:
         row_ids = np.asarray(row_ids, dtype=np.int64)
         counts = self.row_nnz()[row_ids]
         indptr = np.concatenate([[0], np.cumsum(counts)])
-        indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        data = np.empty(int(indptr[-1]), dtype=np.float64)
-        for out_i, i in enumerate(row_ids):
-            start, end = self.indptr[i], self.indptr[i + 1]
-            out_s, out_e = indptr[out_i], indptr[out_i + 1]
-            indices[out_s:out_e] = self.indices[start:end]
-            data[out_s:out_e] = self.data[start:end]
+        total = int(indptr[-1])
+        if total == 0:
+            take = np.empty(0, dtype=np.int64)
+        else:
+            # One fancy-index gathers every selected row's slice: an arange
+            # shifted, per row, from the output offset to the source offset.
+            take = np.repeat(self.indptr[row_ids] - indptr[:-1], counts) + np.arange(total)
         return CSRMatrix(
-            shape=(row_ids.size, self.n_cols), indptr=indptr, indices=indices, data=data
+            shape=(row_ids.size, self.n_cols),
+            indptr=indptr,
+            indices=self.indices[take],
+            data=self.data[take],
         )

@@ -57,15 +57,23 @@ def tile_grid_shape(shape: tuple[int, int], tile_rows: int, tile_cols: int) -> t
     return grid_rows, grid_cols
 
 
-def _tile_nnz_matrix(matrix: CSRMatrix, tile_rows: int, tile_cols: int) -> np.ndarray:
-    """Count the non-zeros that land in every tile of the grid."""
+def occupied_tile_counts(
+    matrix: CSRMatrix, tile_rows: int, tile_cols: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Non-zero counts of the *occupied* tiles only.
+
+    Returns ``(flat_tile_ids, counts)`` where ``flat_tile_ids`` are the
+    row-major grid positions of tiles holding at least one non-zero, in
+    ascending (row-major) order.  Never materialises the full grid, so it
+    stays O(nnz) even when the grid has billions of cells (million-node
+    graphs with small tiles).  An empty matrix yields two empty arrays.
+    """
     grid_rows, grid_cols = tile_grid_shape(matrix.shape, tile_rows, tile_cols)
+    if matrix.nnz == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
     row_ids = np.repeat(np.arange(matrix.n_rows), matrix.row_nnz())
-    tile_row = row_ids // tile_rows
-    tile_col = matrix.indices // tile_cols
-    flat = tile_row * grid_cols + tile_col
-    counts = np.bincount(flat, minlength=grid_rows * grid_cols)
-    return counts.reshape(grid_rows, grid_cols)
+    flat = (row_ids // tile_rows) * grid_cols + matrix.indices // tile_cols
+    return np.unique(flat, return_counts=True)
 
 
 def iter_tiles(
@@ -84,21 +92,28 @@ def iter_tiles(
             fetching only tiles that contain non-zeros), tiles with zero
             non-zeros are not yielded.
     """
-    counts = _tile_nnz_matrix(matrix, tile_rows, tile_cols)
+    tile_ids, counts = occupied_tile_counts(matrix, tile_rows, tile_cols)
     n_rows, n_cols = matrix.shape
-    grid_rows, grid_cols = counts.shape
+    grid_rows, grid_cols = tile_grid_shape(matrix.shape, tile_rows, tile_cols)
+
+    def _tile(tr: int, tc: int, nnz: int) -> Tile:
+        return Tile(
+            row_start=tr * tile_rows,
+            row_end=min((tr + 1) * tile_rows, n_rows),
+            col_start=tc * tile_cols,
+            col_end=min((tc + 1) * tile_cols, n_cols),
+            nnz=nnz,
+        )
+
+    if skip_empty:
+        # Occupied tile ids are sorted, i.e. already in row-major grid order.
+        for flat, nnz in zip(tile_ids.tolist(), counts.tolist()):
+            yield _tile(flat // grid_cols, flat % grid_cols, nnz)
+        return
+    nnz_of = dict(zip(tile_ids.tolist(), counts.tolist()))
     for tr in range(grid_rows):
         for tc in range(grid_cols):
-            nnz = int(counts[tr, tc])
-            if skip_empty and nnz == 0:
-                continue
-            yield Tile(
-                row_start=tr * tile_rows,
-                row_end=min((tr + 1) * tile_rows, n_rows),
-                col_start=tc * tile_cols,
-                col_end=min((tc + 1) * tile_cols, n_cols),
-                nnz=nnz,
-            )
+            yield _tile(tr, tc, nnz_of.get(tr * grid_cols + tc, 0))
 
 
 def tile_nnz_histogram(
@@ -113,8 +128,7 @@ def tile_nnz_histogram(
     3-8, 9-16, and more than 16 non-zeros per tile.  The returned dict maps a
     human-readable bin label to the fraction of non-empty tiles in that bin.
     """
-    counts = _tile_nnz_matrix(matrix, tile_rows, tile_cols)
-    occupied = counts[counts > 0]
+    _tile_ids, occupied = occupied_tile_counts(matrix, tile_rows, tile_cols)
     if occupied.size == 0:
         return {}
     edges = list(bin_edges)
@@ -134,8 +148,7 @@ def tile_nnz_histogram(
 
 def tile_occupancy_stats(matrix: CSRMatrix, tile_rows: int, tile_cols: int) -> dict[str, float]:
     """Summary statistics of non-zeros per occupied tile."""
-    counts = _tile_nnz_matrix(matrix, tile_rows, tile_cols)
-    occupied = counts[counts > 0]
+    _tile_ids, occupied = occupied_tile_counts(matrix, tile_rows, tile_cols)
     if occupied.size == 0:
         return {"tiles": 0, "mean_nnz": 0.0, "median_nnz": 0.0, "max_nnz": 0.0}
     return {

@@ -1,0 +1,107 @@
+"""Cross-family structural properties of the synthetic graph generators.
+
+``test_generators.py`` pins behaviours of individual generators; this
+module asserts the invariants every family must satisfy uniformly — the
+contract the vectorized implementations were rewritten against.  Each
+property runs for all four families over several seeds, so a family
+regressing on a shared invariant fails here even if its dedicated unit
+tests never exercised that corner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    rmat_graph,
+)
+
+# Each family as (name, factory) where the factory takes
+# (num_nodes, average_degree, rng) and applies family-specific defaults.
+FAMILIES = {
+    "chung-lu": lambda n, d, rng: chung_lu_graph(n, d, num_communities=8, rng=rng),
+    "erdos-renyi": lambda n, d, rng: erdos_renyi_graph(n, d, rng=rng),
+    "powerlaw-cluster": lambda n, d, rng: powerlaw_cluster_graph(n, d, rng=rng),
+    "rmat": lambda n, d, rng: rmat_graph(n, d, num_communities=4, rng=rng),
+}
+
+SEEDS = (0, 7, 1234)
+
+
+def build(family: str, num_nodes: int, average_degree: float, seed: int):
+    return FAMILIES[family](num_nodes, average_degree, np.random.default_rng(seed))
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_node_count_matches_request(family, seed):
+    graph = build(family, 1000, 8.0, seed)
+    assert graph.num_nodes == 1000
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_no_self_loops(family, seed):
+    graph = build(family, 1000, 8.0, seed)
+    assert not np.any(graph.src == graph.dst)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_endpoints_in_range(family, seed):
+    graph = build(family, 1000, 8.0, seed)
+    for endpoints in (graph.src, graph.dst):
+        assert endpoints.min() >= 0
+        assert endpoints.max() < graph.num_nodes
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mean_degree_within_two_percent(family, seed):
+    # At 5000 nodes every family concentrates well inside 2% of the
+    # requested average degree (measured headroom is >10x for all four).
+    graph = build(family, 5000, 12.0, seed)
+    assert graph.average_degree == pytest.approx(12.0, rel=0.02)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("num_nodes", (1, 2))
+def test_degenerate_sizes_do_not_crash(family, num_nodes):
+    # The smallest graphs must come back well-formed: the right node
+    # count, no self-loops, and (for one node, where no legal edge
+    # exists) no edges at all.
+    graph = build(family, num_nodes, 4.0, 0)
+    assert graph.num_nodes == num_nodes
+    assert not np.any(graph.src == graph.dst)
+    if num_nodes == 1:
+        assert graph.src.size == 0
+
+
+def test_rmat_community_labels_are_contiguous_blocks():
+    for seed in SEEDS:
+        graph = rmat_graph(
+            2048, 10.0, num_communities=4, rng=np.random.default_rng(seed)
+        )
+        labels = graph.communities
+        assert labels is not None
+        assert labels.size == graph.num_nodes
+        # High-bit labelling: all requested communities appear, labels are
+        # non-decreasing in node id, and (power-of-two node count) every
+        # block covers an equal span of the id space.
+        assert set(np.unique(labels)) == set(range(4))
+        assert np.all(np.diff(labels) >= 0)
+        counts = np.bincount(labels, minlength=4)
+        assert np.all(counts == 2048 // 4)
+
+
+def test_chung_lu_community_labels_cover_all_nodes():
+    for seed in SEEDS:
+        graph = chung_lu_graph(
+            1000, 8.0, num_communities=8, rng=np.random.default_rng(seed)
+        )
+        labels = graph.communities
+        assert labels is not None
+        assert labels.size == graph.num_nodes
+        assert set(np.unique(labels)).issubset(set(range(8)))

@@ -158,9 +158,13 @@ def test_powerlaw_cluster_graph_basic(rng):
     assert graph.degrees().max() > graph.degrees().mean()
 
 
-def test_powerlaw_cluster_rejects_tiny_graphs(rng):
-    with pytest.raises(ValueError):
-        powerlaw_cluster_graph(2, average_degree=10.0, rng=rng)
+def test_powerlaw_cluster_saturates_tiny_graphs(rng):
+    # Degenerate sizes saturate like the other generator families: every
+    # newcomer attaches to all nodes already present instead of raising.
+    graph = powerlaw_cluster_graph(2, average_degree=10.0, rng=rng)
+    assert graph.num_nodes == 2
+    assert graph.src.size == 1
+    assert not np.any(graph.src == graph.dst)
 
 
 def test_erdos_renyi_single_node(rng):

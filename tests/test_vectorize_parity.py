@@ -1,0 +1,178 @@
+"""Bit-exactness harness for the vectorized hot paths.
+
+``tests/golden/vectorize_parity.json`` freezes the outputs of the
+pre-vectorization implementation: simulated metrics for every Table I
+dataset on three backend configurations, one scenario per generator
+family, and raw edge-set hashes of direct generator calls.  Every entry
+must stay *byte-identical* — the vectorized pipeline is only allowed to
+be faster, never different.  Compare with ``==`` / digest equality, not
+``pytest.approx``: approximate parity is a regression here.
+
+If one of these tests fails, the refactor changed observable behaviour;
+fix the code, do not regenerate the fixture.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import Session, SimRequest
+from repro.graph import registry
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import (
+    chung_lu_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    rmat_graph,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "vectorize_parity.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+DATASET_NAMES = sorted(GOLDEN["datasets"])
+SCENARIO_NAMES = sorted(GOLDEN["scenarios"])
+
+# The exact generator invocations the fixture was captured from: one per
+# family, seeds and sizes pinned.
+GENERATOR_CALLS = {
+    "chung-lu": lambda: chung_lu_graph(
+        3000, 10.0, num_communities=6, rng=np.random.default_rng(123)
+    ),
+    "erdos-renyi": lambda: erdos_renyi_graph(3000, 8.0, rng=np.random.default_rng(123)),
+    "powerlaw-cluster": lambda: powerlaw_cluster_graph(
+        1500, 6.0, rng=np.random.default_rng(123)
+    ),
+    "rmat": lambda: rmat_graph(
+        4096, 16.0, num_communities=8, rng=np.random.default_rng(123)
+    ),
+}
+
+
+def edge_hash(graph) -> str:
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(graph.src, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.dst, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def community_hash(graph) -> str | None:
+    if graph.communities is None:
+        return None
+    return hashlib.sha256(
+        np.ascontiguousarray(graph.communities, dtype=np.int64).tobytes()
+    ).hexdigest()
+
+
+def assert_metrics_identical(actual: dict, golden: dict, context: str) -> None:
+    for key, value in golden.items():
+        assert actual[key] == value, (
+            f"{context}: metric {key!r} drifted from the golden value "
+            f"({actual[key]!r} != {value!r})"
+        )
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(use_cache=False)
+
+
+# ---------------------------------------------------------------------------
+# Table I datasets: metrics on every backend configuration the goldens cover.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_dataset_edge_set_byte_identical(name):
+    graph = load_dataset(name).graph
+    golden = GOLDEN["datasets"][name]
+    assert graph.num_nodes == golden["num_nodes"]
+    assert int(graph.src.size) == golden["num_edges_stored"]
+    assert edge_hash(graph) == golden["edges_sha256"]
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_dataset_grow_metrics_bit_exact(session, name):
+    result = session.run(SimRequest(dataset=name, backend="grow"))
+    assert_metrics_identical(
+        result.metrics, GOLDEN["datasets"][name]["grow"], f"{name}/grow"
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_dataset_grow_unpartitioned_metrics_bit_exact(session, name):
+    result = session.run(SimRequest(dataset=name, backend="grow", partitioned=False))
+    assert_metrics_identical(
+        result.metrics,
+        GOLDEN["datasets"][name]["grow_unpartitioned"],
+        f"{name}/grow w/o partitioning",
+    )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_dataset_gcnax_metrics_bit_exact(session, name):
+    result = session.run(SimRequest(dataset=name, backend="gcnax"))
+    assert_metrics_identical(
+        result.metrics, GOLDEN["datasets"][name]["gcnax"], f"{name}/gcnax"
+    )
+
+
+# ---------------------------------------------------------------------------
+# One registered scenario per generator family, end to end through grow.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_scenario_pipeline_bit_exact(session, name):
+    golden = GOLDEN["scenarios"][name]
+    spec = registry.scenario_from_dict(golden["definition"])
+    registry.register_dataset(spec, replace=True)
+    graph = load_dataset(name).graph
+    assert graph.num_nodes == golden["num_nodes"]
+    assert int(graph.src.size) == golden["num_edges_stored"]
+    assert edge_hash(graph) == golden["edges_sha256"]
+    assert community_hash(graph) == golden["communities_sha256"]
+    result = session.run(SimRequest(dataset=name, backend="grow"))
+    assert_metrics_identical(result.metrics, golden["grow"], f"{name}/grow")
+
+
+# ---------------------------------------------------------------------------
+# Direct generator calls: the raw edge stream, byte for byte.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("family", sorted(GENERATOR_CALLS))
+def test_generator_output_byte_identical(family):
+    graph = GENERATOR_CALLS[family]()
+    golden = GOLDEN["generators"][family]
+    assert graph.num_nodes == golden["num_nodes"]
+    assert int(graph.src.size) == golden["num_edges_stored"]
+    assert edge_hash(graph) == golden["edges_sha256"]
+    assert community_hash(graph) == golden["communities_sha256"]
+    assert float(graph.src.size / graph.num_nodes) == golden["mean_stored_degree"]
+
+
+# ---------------------------------------------------------------------------
+# Serial == parallel == cached: the three execution paths must agree on the
+# golden values, not merely with each other.
+# ---------------------------------------------------------------------------
+
+
+def test_serial_parallel_cached_identical(tmp_path):
+    names = ["cora", "citeseer"]
+    requests = [SimRequest(dataset=name, backend="grow") for name in names]
+    goldens = [GOLDEN["datasets"][name]["grow"] for name in names]
+
+    serial = [Session(use_cache=False, force=True).run(req) for req in requests]
+    parallel = Session(use_cache=False, jobs=2).run_batch(requests)
+    cached_session = Session(results_dir=tmp_path, use_cache=True)
+    first = [cached_session.run(req) for req in requests]
+    cached = [cached_session.run(req) for req in requests]
+
+    for name, golden, s, p, f, c in zip(names, goldens, serial, parallel, first, cached):
+        assert_metrics_identical(s.metrics, golden, f"{name}/serial")
+        assert p.metrics == s.metrics, f"{name}: parallel drifted from serial"
+        assert f.metrics == s.metrics, f"{name}: fresh cached run drifted"
+        assert c.metrics == s.metrics, f"{name}: cache-hit run drifted"
