@@ -25,6 +25,14 @@ Commands:
   append the measurements as ``benchmarks/BENCH_<n>.json`` (the
   repository's performance trajectory), failing on wall-clock
   regressions beyond the allowed factor.
+* ``trace <file>``               — summarise a trace written by ``--trace``:
+  top spans, phase breakdown, cache hit rates.
+
+The ``sim``, ``run``, ``suite``, ``dse``, ``scaleout`` and ``bench`` verbs
+share two telemetry flags: ``--trace FILE`` records every pipeline span
+(including pool workers') into a Chrome trace-event JSON viewable in
+Perfetto, and ``--log-level LEVEL`` turns on the structured JSON logging
+of the ``repro.*`` logger hierarchy.
 
 Examples::
 
@@ -48,6 +56,8 @@ Examples::
     python -m repro report dse_grow-smoke
     python -m repro bench                          # default ladder -> BENCH_<n>.json
     python -m repro bench --rungs grow-10k --repeats 3   # CI smoke rung
+    python -m repro suite --smoke --trace suite.trace.json
+    python -m repro trace suite.trace.json         # phase/cache summary
 """
 
 from __future__ import annotations
@@ -86,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run experiments and print their tables")
     run_parser.add_argument("experiments", nargs="+", help="experiment ids (see 'list')")
     _add_config_arguments(run_parser)
+    _add_telemetry_arguments(run_parser)
     run_parser.add_argument(
         "--json",
         action="store_true",
@@ -138,6 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the canonical RunResult payloads as JSON instead of a table",
     )
     _add_fabric_arguments(sim_parser, default_chips=1)
+    _add_telemetry_arguments(sim_parser)
 
     suite_parser = subparsers.add_parser(
         "suite",
@@ -167,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
     suite_parser.add_argument(
         "--force", action="store_true", help="recompute even when a cached result exists"
     )
+    _add_telemetry_arguments(suite_parser)
 
     dse_parser = subparsers.add_parser(
         "dse",
@@ -221,6 +234,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-spaces", action="store_true", help="list the registered spaces and exit"
     )
     _add_config_arguments(dse_parser)
+    _add_telemetry_arguments(dse_parser)
 
     scaleout_parser = subparsers.add_parser(
         "scaleout",
@@ -253,11 +267,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true", help="recompute even when a cached chip run exists"
     )
     _add_config_arguments(scaleout_parser)
+    _add_telemetry_arguments(scaleout_parser)
 
     subparsers.add_parser(
         "bench",
         help="run the benchmark ladder and append BENCH_<n>.json",
         add_help=False,
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="summarise a trace file written by --trace (spans, phases, caches)",
+    )
+    trace_parser.add_argument("file", type=Path, help="trace JSON written by --trace")
+    trace_parser.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="how many spans to show in the top-spans table (default 15)",
     )
 
     report_parser = subparsers.add_parser(
@@ -296,6 +324,25 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="define and run a synthetic scenario dataset: a path to a JSON "
         "scenario spec or an inline JSON object (repeatable).  Without "
         "--datasets, only the scenario(s) run; with it, they join the list",
+    )
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared telemetry flags (also offered by the bench verb's parser)."""
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record pipeline spans into FILE as Chrome trace-event JSON "
+        "(open in Perfetto, or summarise with 'python -m repro trace FILE')",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="enable structured JSON logging of the repro.* hierarchy at "
+        "LEVEL (debug, info, warning, error)",
     )
 
 
@@ -780,6 +827,19 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs import TraceSchemaError, load_trace, summarize_trace
+
+    if args.top < 1:
+        raise SystemExit("--top must be at least 1")
+    try:
+        document = load_trace(args.file)
+    except TraceSchemaError as error:
+        raise SystemExit(str(error)) from error
+    print(summarize_trace(document, top=args.top))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     raw = sys.argv[1:] if argv is None else list(argv)
     if raw and raw[0] == "bench":
@@ -793,19 +853,33 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list(args)
     if args.command == "datasets":
         return _cmd_datasets(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "sim":
-        return _cmd_sim(args)
-    if args.command == "suite":
-        return _cmd_suite(args)
-    if args.command == "dse":
-        return _cmd_dse(args)
-    if args.command == "scaleout":
-        return _cmd_scaleout(args)
     if args.command == "report":
         return _cmd_report(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    if args.command == "trace":
+        return _cmd_trace(args)
+
+    # Every remaining verb runs simulations and shares the telemetry flags;
+    # the trace file is written even when the verb fails partway, so long
+    # runs that die still leave an inspectable timeline behind.
+    from repro.obs import cli_telemetry
+
+    finish = cli_telemetry(args.trace, args.log_level)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sim":
+            return _cmd_sim(args)
+        if args.command == "suite":
+            return _cmd_suite(args)
+        if args.command == "dse":
+            return _cmd_dse(args)
+        if args.command == "scaleout":
+            return _cmd_scaleout(args)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    finally:
+        trace_path = finish()
+        if trace_path is not None:
+            print(f"trace written to {trace_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.accelerators.base import NNZ_BYTES
+from repro.obs import trace
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.tiling import occupied_tile_counts, tile_nnz_histogram
 
@@ -22,7 +23,10 @@ def tile_nnz_bins(
     bin_edges: tuple[int, ...] = (1, 2, 8, 16),
 ) -> dict[str, float]:
     """Fraction of occupied tiles per non-zero-count bin (one Figure 5 bar)."""
-    return tile_nnz_histogram(matrix, tile_rows, tile_cols, bin_edges=bin_edges)
+    with trace.span(
+        "analysis.tiling", nnz=matrix.nnz, tile_rows=tile_rows, tile_cols=tile_cols
+    ):
+        return tile_nnz_histogram(matrix, tile_rows, tile_cols, bin_edges=bin_edges)
 
 
 def effective_bandwidth_utilization(
@@ -37,7 +41,10 @@ def effective_bandwidth_utilization(
     bytes are the tile's non-zeros (value + index).  This is how the paper
     measures the Figure 6 utilisation.
     """
-    _tile_ids, counts = occupied_tile_counts(matrix, tile_rows, tile_cols)
+    with trace.span(
+        "analysis.tiling", nnz=matrix.nnz, tile_rows=tile_rows, tile_cols=tile_cols
+    ):
+        _tile_ids, counts = occupied_tile_counts(matrix, tile_rows, tile_cols)
     if counts.size == 0:
         return 0.0
     tile_bytes = counts * NNZ_BYTES

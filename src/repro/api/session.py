@@ -29,13 +29,14 @@ import copy
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.api.backends import get_backend
 from repro.api.request import SimRequest
 from repro.api.result import RunResult
+from repro.obs import TELEMETRY_KEY, metrics, trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.harness.cache import ResultCache
@@ -47,8 +48,10 @@ _RUN_MEMO: dict[str, dict] = {}
 
 #: Memo entry bound: payloads carry full per-phase detail, so an unbounded
 #: memo would grow with every distinct request for the life of the process
-#: (e.g. a long DSE search).  Oldest-first eviction keeps the hot recent
-#: working set — sweeps, shared baselines, the 1-chip reference — resident.
+#: (e.g. a long DSE search).  Least-recently-used eviction keeps the hot
+#: working set — sweeps, shared baselines, the 1-chip reference — resident:
+#: insertion order is recency order, and :meth:`Session._lookup` refreshes
+#: an entry's position on every memo hit.
 _MEMO_LIMIT = 4096
 
 
@@ -58,7 +61,7 @@ def clear_memo() -> None:
 
 
 def _memoise(key: str, payload: dict) -> None:
-    """Insert one payload, evicting oldest entries past :data:`_MEMO_LIMIT`."""
+    """Insert one payload, evicting least-recent entries past :data:`_MEMO_LIMIT`."""
     _RUN_MEMO.pop(key, None)
     while len(_RUN_MEMO) >= _MEMO_LIMIT:
         _RUN_MEMO.pop(next(iter(_RUN_MEMO)))
@@ -73,7 +76,7 @@ def _normalise(payload: dict) -> dict:
     return json.loads(json.dumps(payload, default=json_default))
 
 
-def _execute_request(request_dict: dict) -> dict:
+def _execute_request(request_dict: dict, telemetry: bool = False) -> dict:
     """Run one request in a worker; module-level so it pickles across.
 
     Workers rebuild the (memoised) bundles and shard plans from the request,
@@ -81,12 +84,34 @@ def _execute_request(request_dict: dict) -> dict:
     executors rely on.  They run detached (``session=None``): composite
     backends fall back to serial, memo-only execution, and the parent
     session persists the whole-run payload on their behalf.
+
+    With ``telemetry`` the worker records its spans and metrics locally and
+    ships them home under :data:`~repro.obs.TELEMETRY_KEY`, attached *after*
+    normalisation; the parent strips the key before the payload reaches
+    memoisation, storage or the caller, so the byte-identity contract is
+    untouched.
     """
     request = SimRequest.from_dict(request_dict)
-    start = time.perf_counter()
-    result = get_backend(request.backend).run(request, session=None)
-    result.seconds = time.perf_counter() - start
-    return _normalise(result.to_dict())
+    if not telemetry:
+        start = time.perf_counter()
+        result = get_backend(request.backend).run(request, session=None)
+        result.seconds = time.perf_counter() - start
+        return _normalise(result.to_dict())
+    # Start from a clean slate: a forked worker inherits the parent's (or a
+    # previous task's) tracer state, which must not leak into this task.
+    trace.disable()
+    trace.drain()
+    with trace.collect() as spans, metrics.scoped() as task_metrics:
+        with trace.span(
+            "session.execute", backend=request.backend, dataset=request.dataset
+        ):
+            start = time.perf_counter()
+            result = get_backend(request.backend).run(request, session=None)
+            result.seconds = time.perf_counter() - start
+        metrics.observe("session.execute_seconds", result.seconds)
+    payload = _normalise(result.to_dict())
+    payload[TELEMETRY_KEY] = {"spans": spans, "metrics": task_metrics}
+    return payload
 
 
 class Session:
@@ -138,12 +163,19 @@ class Session:
             return None
         key = request.cache_key()
         payload = _RUN_MEMO.get(key) if self.memoize else None
+        if payload is not None:
+            # Refresh recency so a repeatedly-hit entry survives eviction
+            # pressure (the memo is LRU, not FIFO).
+            _RUN_MEMO[key] = _RUN_MEMO.pop(key)
+            metrics.inc("session.memo_hits")
         if payload is None and self.cache is not None and self.use_cache:
             entry = self.cache.get(self._entry_name(request), request.experiment_config())
             if entry is not None:
                 payload = entry.metadata.get("run_result") or None
-                if payload is not None and self.memoize:
-                    _memoise(key, dict(payload))
+                if payload is not None:
+                    metrics.inc("session.disk_hits")
+                    if self.memoize:
+                        _memoise(key, dict(payload))
         if payload is None:
             return None
         # Deep copy: the payload's nested dicts live in the process-wide
@@ -192,9 +224,13 @@ class Session:
     def _execute_in_process(self, request: SimRequest) -> dict:
         """Run one request inline, handing the backend this session so
         composite backends (``scaleout``) inherit its jobs/cache wiring."""
-        start = time.perf_counter()
-        result = get_backend(request.backend).run(request, session=self)
-        result.seconds = time.perf_counter() - start
+        with trace.span(
+            "session.execute", backend=request.backend, dataset=request.dataset
+        ):
+            start = time.perf_counter()
+            result = get_backend(request.backend).run(request, session=self)
+            result.seconds = time.perf_counter() - start
+        metrics.observe("session.execute_seconds", result.seconds)
         return _normalise(result.to_dict())
 
     def run(self, request: SimRequest) -> RunResult:
@@ -214,50 +250,76 @@ class Session:
         ``ProcessPoolExecutor``; serial and parallel batches produce
         identical results (workers run detached — composite backends
         execute serially inside them, and only the parent writes the disk
-        cache).  ``progress`` (when given) is called once per request, in
-        order, as results are finalised.
+        cache).  ``progress`` (when given) is called once per request as its
+        result is finalised: cache hits fire during the initial sweep,
+        fresh runs as they complete (completion order under ``jobs > 1``),
+        duplicates right after their source.
         """
+        metrics.inc("session.requests", len(requests))
         results: list[RunResult | None] = [None] * len(requests)
         to_run: list[int] = []
         first_index: dict[str, int] = {}
-        duplicate_of: dict[int, int] = {}
+        dups_of_source: dict[int, list[int]] = {}
         for index, request in enumerate(requests):
             hit = self._lookup(request)
             if hit is not None:
                 results[index] = hit
+                if progress is not None:
+                    progress(hit)
                 continue
             key = request.cache_key()
             if key in first_index and not self.force:
-                duplicate_of[index] = first_index[key]
+                source = first_index[key]
+                dups_of_source.setdefault(source, []).append(index)
+                metrics.inc("session.batch_dedup")
             else:
                 first_index[key] = index
                 to_run.append(index)
+        metrics.inc("session.fresh_runs", len(to_run))
 
-        if self.jobs > 1 and len(to_run) > 1:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(to_run))) as pool:
-                futures = [
-                    pool.submit(_execute_request, requests[index].to_dict())
-                    for index in to_run
-                ]
-                payloads = [future.result() for future in futures]
-        else:
-            payloads = [self._execute_in_process(requests[index]) for index in to_run]
-
-        fresh: dict[int, dict] = {}
-        for index, payload in zip(to_run, payloads):
-            fresh[index] = payload
+        def finalise(index: int, payload: dict) -> None:
             results[index] = self._admit(requests[index], payload)
-        for index, source in duplicate_of.items():
-            duplicate = RunResult.from_dict(copy.deepcopy(fresh[source]))
-            duplicate.status = "cached"
-            duplicate.seconds = 0.0
-            results[index] = duplicate
+            if progress is not None:
+                progress(results[index])
+            for dup in dups_of_source.get(index, ()):
+                duplicate = RunResult.from_dict(copy.deepcopy(payload))
+                duplicate.status = "cached"
+                duplicate.seconds = 0.0
+                results[dup] = duplicate
+                if progress is not None:
+                    progress(duplicate)
 
-        finalised = [result for result in results if result is not None]
-        if progress is not None:
-            for result in finalised:
-                progress(result)
-        return finalised
+        with trace.span(
+            "session.run_batch", requests=len(requests), fresh=len(to_run)
+        ):
+            if self.jobs > 1 and len(to_run) > 1:
+                # Ship worker telemetry home only while tracing: the spans
+                # are useless otherwise and the side-channel is not free.
+                telemetry = trace.enabled
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(to_run))
+                ) as pool:
+                    pending = {
+                        pool.submit(
+                            _execute_request, requests[index].to_dict(), telemetry
+                        ): index
+                        for index in to_run
+                    }
+                    while pending:
+                        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            index = pending.pop(future)
+                            payload = future.result()
+                            shipped = payload.pop(TELEMETRY_KEY, None)
+                            if shipped is not None:
+                                trace.ingest(shipped.get("spans", ()))
+                                metrics.merge(shipped.get("metrics"))
+                            finalise(index, payload)
+            else:
+                for index in to_run:
+                    finalise(index, self._execute_in_process(requests[index]))
+
+        return [result for result in results if result is not None]
 
 
 _DEFAULT_SESSION: Session | None = None

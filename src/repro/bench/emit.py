@@ -142,6 +142,17 @@ def validate_document(document: dict, allow_unnumbered: bool = False) -> None:
             raise BenchSchemaError(f"rung {name!r} has no wall_samples")
         if not isinstance(sample["metrics"], dict):
             raise BenchSchemaError(f"rung {name!r} metrics must be an object")
+        # Optional since schema generation 1: per-phase wall-clock
+        # attribution ({span name: seconds}); older documents lack it.
+        phases = sample.get("phases")
+        if phases is not None:
+            if not isinstance(phases, dict) or not all(
+                isinstance(key, str) and isinstance(value, (int, float))
+                for key, value in phases.items()
+            ):
+                raise BenchSchemaError(
+                    f"rung {name!r} phases must map span names to seconds"
+                )
 
 
 def write_bench(document: dict, bench_dir: Path | str = DEFAULT_BENCH_DIR) -> Path:

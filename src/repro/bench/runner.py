@@ -56,9 +56,11 @@ def _run_rung_isolated(name: str, repeats: int) -> dict:
     A repeat inside one process would rerun only the cycle model — the
     dataset and preprocessing bundles are memoised per process — so each
     repeat gets a cold interpreter and the merged record keeps the
-    minimum wall, the maximum RSS and the (identical) metrics.
+    minimum wall, the maximum RSS and the (identical) metrics.  The phase
+    breakdown follows the wall estimator: the fastest repeat's wins.
     """
     merged = _run_worker_once(name)
+    best_wall = min(merged["wall_samples"])
     for _ in range(repeats - 1):
         sample = _run_worker_once(name)
         if sample["metrics"] != merged["metrics"]:
@@ -67,6 +69,9 @@ def _run_rung_isolated(name: str, repeats: int) -> dict:
             )
         merged["wall_samples"].extend(sample["wall_samples"])
         merged["peak_rss_kb"] = max(merged["peak_rss_kb"], sample["peak_rss_kb"])
+        if min(sample["wall_samples"]) < best_wall and "phases" in sample:
+            best_wall = min(sample["wall_samples"])
+            merged["phases"] = sample["phases"]
     merged["wall_seconds"] = min(merged["wall_samples"])
     return merged
 
@@ -193,6 +198,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure and compare without writing a new BENCH_<n>.json",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a Chrome/Perfetto trace of the driver process to FILE "
+        "(in-process rungs only; isolated workers trace internally)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="emit structured JSON logs at LEVEL (debug, info, warning, ...)",
+    )
     return parser
 
 
@@ -200,6 +219,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.repeats < 1:
         raise SystemExit("--repeats must be at least 1")
+    from repro.obs import cli_telemetry
+
+    finish = cli_telemetry(args.trace, args.log_level)
     try:
         return run_bench(
             rungs=args.rungs,
@@ -213,3 +235,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     except (ValueError, RuntimeError, emit.BenchSchemaError) as error:
         raise SystemExit(str(error)) from error
+    finally:
+        trace_path = finish()
+        if trace_path is not None:
+            print(f"trace written to {trace_path}", file=sys.stderr)

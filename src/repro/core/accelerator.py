@@ -29,6 +29,7 @@ from repro.core.dataflow import RowStationaryDataflow
 from repro.core.hdn_cache import HDNCache, HDNIdList
 from repro.core.preprocess import GrowPreprocessor, PreprocessPlan
 from repro.core.runahead import RunaheadModel
+from repro.obs import trace
 
 
 def _sorted_run_count(values: np.ndarray) -> int:
@@ -85,9 +86,13 @@ class GrowSimulator:
         configuration).  Combination phases keep the RHS on chip and never
         consult the plan.
         """
+        # Phase granularity is the floor of the span taxonomy: the per-cluster
+        # loop inside the streaming model stays uninstrumented by design.
         if phase.rhs_resident:
-            return self._run_resident_phase(phase)
-        stats, _clusters = self._run_streaming_phase(phase, plan)
+            with trace.span("grow.phase", phase=phase.name, kind="combination"):
+                return self._run_resident_phase(phase)
+        with trace.span("grow.phase", phase=phase.name, kind="aggregation"):
+            stats, _clusters = self._run_streaming_phase(phase, plan)
         return stats
 
     def _run_resident_phase(self, phase: SpDeGemmPhase) -> PhaseStats:
@@ -308,7 +313,12 @@ class GrowSimulator:
         name: str | None = None,
     ) -> AcceleratorResult:
         """Simulate all layers of a model back to back (one shared plan)."""
-        results = [self.run_layer(w, plan) for w in workloads]
+        with trace.span(
+            "grow.run_model",
+            model=name or workloads[0].name,
+            layers=len(workloads),
+        ):
+            results = [self.run_layer(w, plan) for w in workloads]
         combined = combine_results(results, workload=name or workloads[0].name)
         combined.sram_capacities = self._sram_capacities()
         # Report the nnz-weighted aggregate hit rate across layers.

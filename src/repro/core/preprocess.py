@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.graph.partition import PartitionResult, partition_graph
+from repro.obs import trace
 from repro.sparse.csr import CSRMatrix
 
 
@@ -130,7 +131,10 @@ class GrowPreprocessor:
         """
         n = adjacency.n_rows
         all_nodes = np.arange(n, dtype=np.int64)
-        hdns = _top_degree_within(adjacency, all_nodes, self.hdn_list_capacity, intra_only=False)
+        with trace.span("preprocess.hdn_select", clusters=1, nodes=n):
+            hdns = _top_degree_within(
+                adjacency, all_nodes, self.hdn_list_capacity, intra_only=False
+            )
         return PreprocessPlan(
             num_nodes=n,
             cluster_of_node=np.zeros(n, dtype=np.int64),
@@ -155,7 +159,15 @@ class GrowPreprocessor:
             plan = self.plan_without_partitioning(adjacency)
             plan.preprocessing_seconds = time.perf_counter() - started
             return plan
-        partition = partition_graph(graph, clusters_wanted, method=self.partition_method, seed=self.seed)
+        with trace.span(
+            "preprocess.partition",
+            nodes=graph.num_nodes,
+            clusters=clusters_wanted,
+            method=self.partition_method,
+        ):
+            partition = partition_graph(
+                graph, clusters_wanted, method=self.partition_method, seed=self.seed
+            )
         plan = self.plan_from_partition(adjacency, partition)
         plan.preprocessing_seconds = time.perf_counter() - started
         return plan
@@ -172,48 +184,54 @@ class GrowPreprocessor:
         nodes, which degrades gracefully on graphs with weak community
         structure (e.g. Reddit) and never lowers the hit rate.
         """
-        assignment = partition.assignment
-        num_clusters = partition.num_clusters
-        # Group nodes by cluster with one stable argsort: within a cluster the
-        # stable sort preserves ascending node ids, so each slice equals the
-        # ``np.where(assignment == cluster_id)`` scan it replaces.
-        node_order = np.argsort(assignment, kind="stable")
-        sizes = np.bincount(assignment, minlength=num_clusters)
-        bounds = np.concatenate([[0], np.cumsum(sizes)])
+        with trace.span(
+            "preprocess.hdn_select",
+            clusters=partition.num_clusters,
+            nodes=adjacency.n_rows,
+        ):
+            assignment = partition.assignment
+            num_clusters = partition.num_clusters
+            # Group nodes by cluster with one stable argsort: within a cluster
+            # the stable sort preserves ascending node ids, so each slice
+            # equals the ``np.where(assignment == cluster_id)`` scan it
+            # replaces.
+            node_order = np.argsort(assignment, kind="stable")
+            sizes = np.bincount(assignment, minlength=num_clusters)
+            bounds = np.concatenate([[0], np.cumsum(sizes)])
 
-        # Derive every cluster's HDN list in one batched pass: count distinct
-        # (cluster, column) reference pairs, then order candidates per cluster
-        # by (count desc, column asc) — the exact order the per-cluster
-        # ``np.argsort(-counts, kind="stable")`` produced — and keep the top
-        # ``hdn_list_capacity`` of each.
-        n_cols = adjacency.n_cols
-        row_of_nnz = np.repeat(np.arange(adjacency.n_rows), np.diff(adjacency.indptr))
-        pair_keys = assignment[row_of_nnz] * n_cols + adjacency.indices
-        unique_pairs, pair_counts = np.unique(pair_keys, return_counts=True)
-        pair_cluster = unique_pairs // n_cols
-        pair_col = unique_pairs % n_cols
-        if intra_only:
-            in_range = pair_col < assignment.size
-            keep = in_range.copy()
-            keep[in_range] = assignment[pair_col[in_range]] == pair_cluster[in_range]
-            pair_cluster = pair_cluster[keep]
-            pair_col = pair_col[keep]
-            pair_counts = pair_counts[keep]
-        candidate_order = np.lexsort((pair_col, -pair_counts, pair_cluster))
-        cand_cluster = pair_cluster[candidate_order]
-        cand_col = pair_col[candidate_order]
-        cand_bounds = np.searchsorted(cand_cluster, np.arange(num_clusters + 1))
+            # Derive every cluster's HDN list in one batched pass: count
+            # distinct (cluster, column) reference pairs, then order candidates
+            # per cluster by (count desc, column asc) — the exact order the
+            # per-cluster ``np.argsort(-counts, kind="stable")`` produced —
+            # and keep the top ``hdn_list_capacity`` of each.
+            n_cols = adjacency.n_cols
+            row_of_nnz = np.repeat(np.arange(adjacency.n_rows), np.diff(adjacency.indptr))
+            pair_keys = assignment[row_of_nnz] * n_cols + adjacency.indices
+            unique_pairs, pair_counts = np.unique(pair_keys, return_counts=True)
+            pair_cluster = unique_pairs // n_cols
+            pair_col = unique_pairs % n_cols
+            if intra_only:
+                in_range = pair_col < assignment.size
+                keep = in_range.copy()
+                keep[in_range] = assignment[pair_col[in_range]] == pair_cluster[in_range]
+                pair_cluster = pair_cluster[keep]
+                pair_col = pair_col[keep]
+                pair_counts = pair_counts[keep]
+            candidate_order = np.lexsort((pair_col, -pair_counts, pair_cluster))
+            cand_cluster = pair_cluster[candidate_order]
+            cand_col = pair_col[candidate_order]
+            cand_bounds = np.searchsorted(cand_cluster, np.arange(num_clusters + 1))
 
-        clusters: list[np.ndarray] = []
-        hdn_lists: list[np.ndarray] = []
-        for cluster_id in range(num_clusters):
-            nodes = node_order[bounds[cluster_id] : bounds[cluster_id + 1]].astype(np.int64)
-            if nodes.size == 0:
-                continue
-            clusters.append(nodes)
-            start = cand_bounds[cluster_id]
-            end = min(cand_bounds[cluster_id + 1], start + self.hdn_list_capacity)
-            hdn_lists.append(cand_col[start:end].astype(np.int64))
+            clusters: list[np.ndarray] = []
+            hdn_lists: list[np.ndarray] = []
+            for cluster_id in range(num_clusters):
+                nodes = node_order[bounds[cluster_id] : bounds[cluster_id + 1]].astype(np.int64)
+                if nodes.size == 0:
+                    continue
+                clusters.append(nodes)
+                start = cand_bounds[cluster_id]
+                end = min(cand_bounds[cluster_id + 1], start + self.hdn_list_capacity)
+                hdn_lists.append(cand_col[start:end].astype(np.int64))
         return PreprocessPlan(
             num_nodes=adjacency.n_rows,
             cluster_of_node=partition.assignment.copy(),

@@ -46,6 +46,9 @@ from repro.dse.space import ParameterSpace, candidate_key, get_space
 from repro.harness.cache import ResultCache, config_fingerprint
 from repro.harness.config import ExperimentConfig, default_config
 from repro.harness.report import ExperimentResult
+from repro.obs import get_logger
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 
 # Search artefacts and cache entries land next to the suite's — sharing the
 # suite's constant is what the cache-sharing contract hangs on.
@@ -54,6 +57,8 @@ from repro.harness.suite import DEFAULT_RESULTS_DIR
 #: Type of the per-generation progress callback:
 #: ``progress(generation, evaluations_of_generation, frontier_size_so_far)``.
 ProgressFn = Callable[[int, Sequence[Evaluation], int], None]
+
+_log = get_logger("dse.engine")
 
 
 def _evaluate_candidate(
@@ -337,6 +342,8 @@ class DSERunner:
                 metrics, seconds = outcome
                 self._store_metrics(batch[index], metrics, seconds)
                 slots[index] = self._finish(batch[index], metrics, "ran", generation, seconds)
+        for evaluation in slots:
+            obs_metrics.inc(f"dse.{evaluation.status}")
         return slots  # every slot is filled by construction
 
     def _frontier(self, evaluations: Sequence[Evaluation]) -> list[Evaluation]:
@@ -368,8 +375,20 @@ class DSERunner:
                 if not batch:
                     break
                 generation += 1
-                outcomes = self._evaluate_generation(batch, generation, pool)
+                with trace.span(
+                    "dse.generation",
+                    space=self.space.name,
+                    generation=generation,
+                    candidates=len(batch),
+                ):
+                    outcomes = self._evaluate_generation(batch, generation, pool)
                 evaluations.extend(outcomes)
+                _log.debug(
+                    "generation %d: %d candidates, %d evaluated so far",
+                    generation,
+                    len(batch),
+                    len(evaluations),
+                )
                 if progress:
                     progress(generation, outcomes, len(self._frontier(evaluations)))
         finally:

@@ -26,6 +26,7 @@ from typing import Any, Iterator
 import repro
 from repro.harness.config import ExperimentConfig
 from repro.harness.report import ExperimentResult, json_default
+from repro.obs import metrics
 
 _CODE_VERSION: str | None = None
 
@@ -97,12 +98,16 @@ class ResultCache:
         """The cached result, or ``None`` on a miss or unreadable entry."""
         path = self.path_for(name, config)
         if not path.exists():
+            metrics.inc("cache.misses")
             return None
         try:
             entry = json.loads(path.read_text())
-            return ExperimentResult.from_dict(entry["result"])
+            result = ExperimentResult.from_dict(entry["result"])
         except (json.JSONDecodeError, KeyError, TypeError):
+            metrics.inc("cache.misses")
             return None
+        metrics.inc("cache.hits")
+        return result
 
     def put(
         self,
@@ -131,6 +136,7 @@ class ResultCache:
             "result": result.to_dict(),
         }
         path.write_text(json.dumps(entry, indent=2, default=json_default) + "\n")
+        metrics.inc("cache.writes")
         return path
 
     def _prune_stale(self, name: str) -> None:

@@ -31,6 +31,9 @@ from repro.harness.cache import ResultCache, config_fingerprint
 from repro.harness.config import ExperimentConfig, default_config
 from repro.harness.registry import get_experiment, list_experiments
 from repro.harness.report import ExperimentResult, format_markdown_table, json_default
+from repro.obs import get_logger, metrics, trace
+
+_log = get_logger("harness.suite")
 
 #: Default location (relative to the working directory) for suite artefacts.
 DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
@@ -217,21 +220,25 @@ class SuiteRunner:
         outcomes: dict[str, SuiteOutcome] = {}
         pending: list[str] = []
 
-        for name in self.experiments:
-            cached = None
-            if self.cache is not None and self.use_cache and not self.force_recompute:
-                cached = self.cache.get(name, self.config)
-            if cached is not None:
-                outcomes[name] = SuiteOutcome(name=name, status="cached", result=cached)
-                if progress:
-                    progress(outcomes[name])
-            else:
-                pending.append(name)
+        with trace.span(
+            "suite.run", experiments=len(self.experiments), jobs=self.jobs
+        ):
+            for name in self.experiments:
+                cached = None
+                if self.cache is not None and self.use_cache and not self.force_recompute:
+                    cached = self.cache.get(name, self.config)
+                if cached is not None:
+                    outcomes[name] = SuiteOutcome(name=name, status="cached", result=cached)
+                    metrics.inc("suite.cached")
+                    if progress:
+                        progress(outcomes[name])
+                else:
+                    pending.append(name)
 
-        if self.jobs > 1 and len(pending) > 1:
-            self._run_parallel(pending, outcomes, progress)
-        else:
-            self._run_serial(pending, outcomes, progress)
+            if self.jobs > 1 and len(pending) > 1:
+                self._run_parallel(pending, outcomes, progress)
+            else:
+                self._run_serial(pending, outcomes, progress)
 
         report = SuiteReport(
             outcomes=[outcomes[name] for name in self.experiments],
@@ -239,6 +246,13 @@ class SuiteRunner:
             jobs=self.jobs,
             total_seconds=time.perf_counter() - start,
             code_version=self.cache.code_version if self.cache is not None else "",
+        )
+        _log.info(
+            "suite finished: %d ran, %d cached, %d failed in %.1fs",
+            report.num_ran,
+            report.num_cached,
+            report.num_failed,
+            report.total_seconds,
         )
         if self.results_dir is not None:
             self.write_reports(report)
@@ -251,6 +265,9 @@ class SuiteRunner:
         progress: Callable[[SuiteOutcome], None] | None,
     ) -> None:
         outcomes[outcome.name] = outcome
+        metrics.inc(f"suite.{outcome.status}")
+        if outcome.status == "failed":
+            _log.warning("experiment %s failed", outcome.name)
         if outcome.status == "ran" and self.cache is not None and self.use_cache:
             self.cache.put(outcome.name, self.config, outcome.result, outcome.seconds)
         if progress:
@@ -259,7 +276,8 @@ class SuiteRunner:
     def _run_serial(self, pending, outcomes, progress) -> None:
         for name in pending:
             try:
-                _, result_dict, elapsed = _execute_experiment(name, self.config)
+                with trace.span("suite.experiment", experiment=name):
+                    _, result_dict, elapsed = _execute_experiment(name, self.config)
                 outcome = SuiteOutcome(
                     name=name,
                     status="ran",
@@ -288,11 +306,35 @@ class SuiteRunner:
                             seconds=elapsed,
                             result=ExperimentResult.from_dict(result_dict),
                         )
+                        if trace.enabled:
+                            # Suite workers don't ship spans home; reconstruct
+                            # the per-experiment span parent-side from the
+                            # worker's own elapsed measurement.
+                            self._ingest_experiment_span(name, elapsed)
                     except Exception:
                         outcome = SuiteOutcome(
                             name=name, status="failed", error=traceback.format_exc()
                         )
                     self._record(outcomes, outcome, progress)
+
+    @staticmethod
+    def _ingest_experiment_span(name: str, elapsed: float) -> None:
+        import threading
+
+        trace.ingest(
+            [
+                {
+                    "name": "suite.experiment",
+                    "ts_us": time.time_ns() // 1_000 - int(elapsed * 1e6),
+                    "dur_us": elapsed * 1e6,
+                    "pid": os.getpid(),
+                    "tid": threading.get_ident(),
+                    "depth": 1,
+                    "parent": "suite.run",
+                    "args": {"experiment": name},
+                }
+            ]
+        )
 
     def write_reports(self, report: SuiteReport) -> None:
         """Write per-experiment JSON/Markdown files plus the combined report."""

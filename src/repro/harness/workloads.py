@@ -17,6 +17,7 @@ from repro.core.preprocess import GrowPreprocessor, PreprocessPlan
 from repro.gcn.layer import GCNModel, build_model_for_dataset
 from repro.graph.datasets import SyntheticDataset, load_dataset
 from repro.harness.config import ExperimentConfig
+from repro.obs import trace
 
 
 @dataclass
@@ -70,26 +71,29 @@ def get_bundle(name: str, config: ExperimentConfig) -> WorkloadBundle:
     key = _cache_key(name, config)
     if key in _BUNDLE_CACHE:
         return _BUNDLE_CACHE[key]
-    dataset = load_dataset(
-        name,
-        num_nodes=config.num_nodes_override.get(name),
-        seed=config.seed,
-        spec=config.effective_scenario(name),
-    )
-    model = build_model_for_dataset(dataset, seed=config.seed)
-    workloads = build_model_workloads(model)
-    preprocessor = GrowPreprocessor(
-        target_cluster_nodes=config.target_cluster_nodes, seed=config.seed
-    )
-    plan = preprocessor.plan_from_graph(dataset.graph, partitioned=True)
-    plan_unpartitioned = preprocessor.plan_from_graph(dataset.graph, partitioned=False)
-    bundle = WorkloadBundle(
-        dataset=dataset,
-        model=model,
-        workloads=workloads,
-        plan=plan,
-        plan_unpartitioned=plan_unpartitioned,
-    )
+    with trace.span("workload.bundle", dataset=name):
+        with trace.span("workload.load_dataset", dataset=name):
+            dataset = load_dataset(
+                name,
+                num_nodes=config.num_nodes_override.get(name),
+                seed=config.seed,
+                spec=config.effective_scenario(name),
+            )
+        with trace.span("workload.build_model", dataset=name):
+            model = build_model_for_dataset(dataset, seed=config.seed)
+            workloads = build_model_workloads(model)
+        preprocessor = GrowPreprocessor(
+            target_cluster_nodes=config.target_cluster_nodes, seed=config.seed
+        )
+        plan = preprocessor.plan_from_graph(dataset.graph, partitioned=True)
+        plan_unpartitioned = preprocessor.plan_from_graph(dataset.graph, partitioned=False)
+        bundle = WorkloadBundle(
+            dataset=dataset,
+            model=model,
+            workloads=workloads,
+            plan=plan,
+            plan_unpartitioned=plan_unpartitioned,
+        )
     _BUNDLE_CACHE[key] = bundle
     return bundle
 

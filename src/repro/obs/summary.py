@@ -1,0 +1,138 @@
+"""Human-readable digest of a trace document — the ``repro trace`` verb.
+
+Reads the Chrome trace-event JSON that ``--trace`` emits and prints what
+you usually open Perfetto to learn: which spans dominate, how the
+top-level phases split the wall clock, and how the caches behaved.
+
+Stdlib-only, like everything under :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import hit_rate
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_seconds(us: float) -> str:
+    return f"{us / 1e6:.3f}s"
+
+
+def aggregate_spans(document: dict) -> dict[str, dict[str, float]]:
+    """Per-name totals over the complete (``"ph": "X"``) events."""
+    totals: dict[str, dict[str, float]] = {}
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        entry = totals.setdefault(event["name"], {"count": 0, "total_us": 0.0})
+        entry["count"] += 1
+        entry["total_us"] += event["dur"]
+    return totals
+
+
+def phase_breakdown(document: dict) -> list[tuple[str, float, int]]:
+    """(name, total µs, count) of root spans — those without a parent.
+
+    Root spans are the coarse pipeline phases (a session execute, a suite
+    run, a bench rung); their self-reported parents arrived via span args.
+    """
+    totals: dict[str, dict[str, float]] = {}
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X" or (event.get("args") or {}).get("parent"):
+            continue
+        entry = totals.setdefault(event["name"], {"count": 0, "total_us": 0.0})
+        entry["count"] += 1
+        entry["total_us"] += event["dur"]
+    return sorted(
+        ((name, entry["total_us"], int(entry["count"])) for name, entry in totals.items()),
+        key=lambda item: -item[1],
+    )
+
+
+def cache_summary(document: dict) -> list[tuple[str, float | None, str]]:
+    """(cache, hit rate, detail) rows from the embedded metrics snapshot."""
+    counters = (
+        document.get("otherData", {}).get("metrics", {}).get("counters", {})
+    )
+    memo_hits = counters.get("session.memo_hits", 0)
+    disk_hits = counters.get("session.disk_hits", 0)
+    fresh = counters.get("session.fresh_runs", 0)
+    rows = [
+        (
+            "session memo",
+            hit_rate(memo_hits, disk_hits + fresh),
+            f"{memo_hits:g} hits",
+        ),
+        (
+            "session disk",
+            hit_rate(disk_hits, fresh),
+            f"{disk_hits:g} hits",
+        ),
+        (
+            "result cache",
+            hit_rate(counters.get("cache.hits", 0), counters.get("cache.misses", 0)),
+            f"{counters.get('cache.hits', 0):g} hits, "
+            f"{counters.get('cache.writes', 0):g} writes",
+        ),
+    ]
+    dedup = counters.get("session.batch_dedup", 0)
+    if dedup:
+        rows.append(("batch dedup", None, f"{dedup:g} collapsed"))
+    return rows
+
+
+def summarize_trace(document: dict, top: int = 15) -> str:
+    """The full text summary ``repro trace`` prints."""
+    spans = aggregate_spans(document)
+    sections: list[str] = []
+
+    if not spans:
+        sections.append("trace contains no spans")
+    else:
+        ranked = sorted(spans.items(), key=lambda item: -item[1]["total_us"])[:top]
+        rows = [
+            [
+                name,
+                str(int(entry["count"])),
+                _format_seconds(entry["total_us"]),
+                _format_seconds(entry["total_us"] / entry["count"]),
+            ]
+            for name, entry in ranked
+        ]
+        sections.append(
+            f"Top spans by total time (showing {len(rows)} of {len(spans)})\n"
+            + _format_table(["span", "count", "total", "mean"], rows)
+        )
+
+        phases = phase_breakdown(document)
+        phase_total = sum(total for _, total, _ in phases)
+        if phases and phase_total > 0:
+            rows = [
+                [name, str(count), _format_seconds(total), f"{100 * total / phase_total:.1f}%"]
+                for name, total, count in phases
+            ]
+            sections.append(
+                "Phase breakdown (root spans)\n"
+                + _format_table(["phase", "count", "total", "share"], rows)
+            )
+
+    cache_rows = [
+        [name, "-" if rate is None else f"{100 * rate:.1f}%", detail]
+        for name, rate, detail in cache_summary(document)
+    ]
+    sections.append(
+        "Cache behaviour\n" + _format_table(["cache", "hit rate", "detail"], cache_rows)
+    )
+    return "\n\n".join(sections)

@@ -55,6 +55,8 @@ from repro.harness.config import ExperimentConfig, default_config
 from repro.harness.report import ExperimentResult
 from repro.harness.suite import DEFAULT_RESULTS_DIR
 from repro.harness.workloads import get_bundle
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.scaleout.interconnect import InterconnectModel
 from repro.scaleout.shard import ShardPlan, build_shard_plan
 from repro.scaleout.topology import ChipTopology
@@ -89,9 +91,12 @@ def get_shard_plan(
     key = _shard_cache_key(dataset, config, num_chips, method)
     if key not in _SHARD_CACHE:
         bundle = get_bundle(dataset, config)
-        _SHARD_CACHE[key] = build_shard_plan(
-            bundle.dataset.graph, bundle.plan, num_chips, method=method, seed=config.seed
-        )
+        with trace.span(
+            "scaleout.shard_plan", dataset=dataset, chips=num_chips, method=method
+        ):
+            _SHARD_CACHE[key] = build_shard_plan(
+                bundle.dataset.graph, bundle.plan, num_chips, method=method, seed=config.seed
+            )
     return _SHARD_CACHE[key]
 
 
@@ -345,6 +350,8 @@ class ScaleOutSimulator:
                 result=run.accelerator_result(),
                 seconds=run.seconds,
             )
+        for outcome in outcomes:
+            obs_metrics.inc(f"scaleout.chips_{outcome.status}")
         return outcomes  # every slot is filled by construction
 
     # -- composition -------------------------------------------------------
@@ -376,32 +383,37 @@ class ScaleOutSimulator:
         interchip_hop_bytes = 0
         comm_transfer = 0.0
         comm_exposed = 0.0
-        for layer_index in range(num_layers):
-            chip_layer_cycles = []
-            for outcome in outcomes:
-                phases = outcome.result.phases[2 * layer_index : 2 * layer_index + 2]
-                chip_layer_cycles.append(sum(phase.total_cycles for phase in phases))
-            exchange = self.interconnect.layer_exchange(
-                shard_plan, bundle.workloads[layer_index].aggregation.rhs_row_bytes
-            )
-            compute_bound = max(chip_layer_cycles) if chip_layer_cycles else 0.0
-            layer_cycles = (
-                max(compute_bound, exchange.transfer_cycles)
-                + exchange.exposed_latency_cycles
-            )
-            system_cycles += layer_cycles
-            interchip_bytes += exchange.total_bytes
-            interchip_hop_bytes += exchange.hop_bytes
-            comm_transfer += exchange.transfer_cycles
-            comm_exposed += exchange.exposed_latency_cycles
-            layers.append(
-                {
-                    "layer": bundle.workloads[layer_index].name,
-                    "compute_bound_cycles": compute_bound,
-                    "system_cycles": layer_cycles,
-                    "exchange": exchange.as_dict(),
-                }
-            )
+        with trace.span(
+            "scaleout.compose", dataset=dataset, chips=num_chips, layers=num_layers
+        ):
+            for layer_index in range(num_layers):
+                chip_layer_cycles = []
+                for outcome in outcomes:
+                    phases = outcome.result.phases[2 * layer_index : 2 * layer_index + 2]
+                    chip_layer_cycles.append(sum(phase.total_cycles for phase in phases))
+                exchange = self.interconnect.layer_exchange(
+                    shard_plan, bundle.workloads[layer_index].aggregation.rhs_row_bytes
+                )
+                compute_bound = max(chip_layer_cycles) if chip_layer_cycles else 0.0
+                layer_cycles = (
+                    max(compute_bound, exchange.transfer_cycles)
+                    + exchange.exposed_latency_cycles
+                )
+                system_cycles += layer_cycles
+                interchip_bytes += exchange.total_bytes
+                interchip_hop_bytes += exchange.hop_bytes
+                comm_transfer += exchange.transfer_cycles
+                comm_exposed += exchange.exposed_latency_cycles
+                layers.append(
+                    {
+                        "layer": bundle.workloads[layer_index].name,
+                        "compute_bound_cycles": compute_bound,
+                        "system_cycles": layer_cycles,
+                        "exchange": exchange.as_dict(),
+                    }
+                )
+        obs_metrics.inc("scaleout.interchip_bytes", int(interchip_bytes))
+        obs_metrics.inc("scaleout.interchip_hop_bytes", int(interchip_hop_bytes))
 
         # -- energy over the whole system.
         mac_operations = sum(o.result.total_mac_operations for o in outcomes)
@@ -457,13 +469,14 @@ class ScaleOutSimulator:
                 f"{list(self.config.datasets)}"
             )
         num_chips = self.topology.num_chips
-        shard_plan = get_shard_plan(dataset, self.config, num_chips, self.shard_method)
-        outcomes = self._evaluate_chips(dataset, num_chips, shard_plan)
-        if num_chips == 1:
-            single_chip_cycles = float(outcomes[0].result.total_cycles)
-        else:
-            single_chip_cycles = self._single_chip_total_cycles(dataset)
-        return self._compose(dataset, shard_plan, outcomes, single_chip_cycles)
+        with trace.span("scaleout.run", dataset=dataset, chips=num_chips):
+            shard_plan = get_shard_plan(dataset, self.config, num_chips, self.shard_method)
+            outcomes = self._evaluate_chips(dataset, num_chips, shard_plan)
+            if num_chips == 1:
+                single_chip_cycles = float(outcomes[0].result.total_cycles)
+            else:
+                single_chip_cycles = self._single_chip_total_cycles(dataset)
+            return self._compose(dataset, shard_plan, outcomes, single_chip_cycles)
 
     def run_all(
         self, progress: Callable[[ScaleOutResult], None] | None = None
