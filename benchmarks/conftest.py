@@ -21,6 +21,10 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+# Benchmark validation runs are replays from the result cache; keep them
+# out of the repository's persistent run ledger.
+os.environ.setdefault("REPRO_LEDGER", "0")
+
 import pytest
 
 from repro.harness import SuiteRunner, default_config

@@ -27,12 +27,20 @@ Commands:
   regressions beyond the allowed factor.
 * ``trace <file>``               — summarise a trace written by ``--trace``:
   top spans, phase breakdown, cache hit rates.
+* ``stats``                      — query the persistent run ledger
+  (``benchmarks/ledger.jsonl``): runs by kind/backend/dataset/outcome,
+  cache hit rates, slowest phases and runs.
+* ``dash <out.html>``            — generate the self-contained HTML
+  performance dashboard (benchmark trajectory with noise-aware trend
+  classification, phase breakdowns, ledger analytics).
 
 The ``sim``, ``run``, ``suite``, ``dse``, ``scaleout`` and ``bench`` verbs
-share two telemetry flags: ``--trace FILE`` records every pipeline span
+share three telemetry flags: ``--trace FILE`` records every pipeline span
 (including pool workers') into a Chrome trace-event JSON viewable in
-Perfetto, and ``--log-level LEVEL`` turns on the structured JSON logging
-of the ``repro.*`` logger hierarchy.
+Perfetto, ``--log-level LEVEL`` turns on the structured JSON logging
+of the ``repro.*`` logger hierarchy, and ``--no-ledger`` skips the run
+ledger (also disabled by ``REPRO_LEDGER=0``, redirected by
+``REPRO_LEDGER=path``).
 
 Examples::
 
@@ -58,6 +66,9 @@ Examples::
     python -m repro bench --rungs grow-10k --repeats 3   # CI smoke rung
     python -m repro suite --smoke --trace suite.trace.json
     python -m repro trace suite.trace.json         # phase/cache summary
+    python -m repro stats                          # ledger: runs, hit rates
+    python -m repro stats --kind session --outcome fresh --slowest 5
+    python -m repro dash dashboard.html            # self-contained HTML
 """
 
 from __future__ import annotations
@@ -288,6 +299,102 @@ def _build_parser() -> argparse.ArgumentParser:
         help="how many spans to show in the top-spans table (default 15)",
     )
 
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="query the persistent run ledger: runs, hit rates, slowest phases",
+    )
+    stats_parser.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="ledger JSONL to read (default: the active ledger, "
+        "benchmarks/ledger.jsonl or $REPRO_LEDGER)",
+    )
+    stats_parser.add_argument(
+        "--kind",
+        choices=("session", "suite", "dse", "scaleout", "bench"),
+        default=None,
+        help="restrict to one record kind",
+    )
+    stats_parser.add_argument(
+        "--backend", default=None, help="restrict to one backend (e.g. grow)"
+    )
+    stats_parser.add_argument(
+        "--dataset", default=None, help="restrict to one dataset"
+    )
+    stats_parser.add_argument(
+        "--outcome",
+        default=None,
+        help="restrict to one outcome (fresh, memo, disk, dedup, ok, failed, ...)",
+    )
+    stats_parser.add_argument(
+        "--since",
+        default=None,
+        metavar="ISO",
+        help="only records at or after this UTC instant (ISO prefix, "
+        "e.g. 2026-08-01 or 2026-08-01T12:00)",
+    )
+    stats_parser.add_argument(
+        "--last",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the N most recent matching records",
+    )
+    stats_parser.add_argument(
+        "--slowest",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the slowest-phases/slowest-runs tables (default 10)",
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    dash_parser = subparsers.add_parser(
+        "dash",
+        help="generate the self-contained HTML performance dashboard",
+    )
+    dash_parser.add_argument(
+        "output", type=Path, help="path of the HTML file to write"
+    )
+    dash_parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=None,
+        help="directory of the BENCH_<n>.json trajectory (default benchmarks)",
+    )
+    dash_parser.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="ledger JSONL to include (default: the active ledger)",
+    )
+    dash_parser.add_argument(
+        "--markdown",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write a Markdown twin of the dashboard to FILE",
+    )
+    dash_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="trend tolerance band, e.g. 0.25 = ±25%% (default from repro.obs.trend)",
+    )
+    dash_parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="baseline window in documents (default from repro.obs.trend)",
+    )
+
     report_parser = subparsers.add_parser(
         "report", help="render previously computed suite, DSE or scale-out results"
     )
@@ -343,6 +450,12 @@ def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="LEVEL",
         help="enable structured JSON logging of the repro.* hierarchy at "
         "LEVEL (debug, info, warning, error)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to the persistent run ledger "
+        "(benchmarks/ledger.jsonl; see also REPRO_LEDGER)",
     )
 
 
@@ -836,7 +949,171 @@ def _cmd_trace(args) -> int:
         document = load_trace(args.file)
     except TraceSchemaError as error:
         raise SystemExit(str(error)) from error
+    complete = sum(
+        1 for event in document.get("traceEvents", []) if event.get("ph") == "X"
+    )
+    if complete == 0:
+        print(
+            f"{args.file}: trace contains no complete spans — the traced "
+            "process may have died before any span finished, or tracing "
+            "was never enabled (run with --trace FILE)",
+            file=sys.stderr,
+        )
+        return 1
     print(summarize_trace(document, top=args.top))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import ledger as run_ledger
+    from repro.obs.summary import format_table
+
+    if args.last < 0:
+        raise SystemExit("--last must be non-negative")
+    if args.slowest < 1:
+        raise SystemExit("--slowest must be at least 1")
+    path = args.ledger if args.ledger is not None else run_ledger.ledger_path()
+    if path is None:
+        print(
+            "the run ledger is disabled (REPRO_LEDGER); pass --ledger FILE",
+            file=sys.stderr,
+        )
+        return 1
+    path = Path(path)
+    if not path.exists():
+        print(
+            f"no ledger at {path}; run a simulation (repro sim/suite/bench ...) "
+            "first, or point --ledger at one",
+            file=sys.stderr,
+        )
+        return 1
+    records, bad = run_ledger.load_ledger(path)
+    records = run_ledger.filter_records(
+        records,
+        kind=args.kind,
+        backend=args.backend,
+        dataset=args.dataset,
+        outcome=args.outcome,
+        since=args.since,
+    )
+    summary = run_ledger.summarize_records(records, slowest=args.slowest)
+    if args.json:
+        payload = dict(summary, ledger=str(path), bad_lines=len(bad))
+        if args.last:
+            payload["last"] = records[-args.last :]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    sections = [f"{summary['total']} matching record(s) in {path}"]
+    if bad:
+        sections[0] += f" ({len(bad)} corrupt line(s) skipped)"
+    if summary["by_kind"]:
+        rows = [
+            [
+                kind,
+                str(entry["runs"]),
+                f"{entry['wall_seconds']:.3f}s",
+                ", ".join(
+                    f"{name}={count}"
+                    for name, count in sorted(entry["outcomes"].items())
+                ),
+            ]
+            for kind, entry in sorted(summary["by_kind"].items())
+        ]
+        sections.append(
+            "Runs by kind\n"
+            + format_table(["kind", "runs", "wall total", "outcomes"], rows)
+        )
+    cache = summary["cache"]
+    rate = cache["hit_rate"]
+    sections.append(
+        "Cache behaviour\n"
+        + format_table(
+            ["fresh", "memo", "disk", "dedup", "failed", "hit rate"],
+            [
+                [
+                    str(cache["fresh"]),
+                    str(cache["memo"]),
+                    str(cache["disk"]),
+                    str(cache["dedup"]),
+                    str(cache["failed"]),
+                    "-" if rate is None else f"{rate * 100:.1f}%",
+                ]
+            ],
+        )
+    )
+    if summary["slowest_phases"]:
+        rows = [
+            [
+                row["phase"],
+                str(row["count"]),
+                f"{row['total_seconds']:.3f}s",
+                f"{row['mean_seconds']:.3f}s",
+            ]
+            for row in summary["slowest_phases"]
+        ]
+        sections.append(
+            "Slowest phases\n"
+            + format_table(["phase", "runs", "total", "mean"], rows)
+        )
+    if summary["slowest_runs"]:
+        rows = [
+            [
+                row["ts"],
+                row["kind"],
+                row["name"],
+                row["outcome"],
+                f"{row['wall_seconds']:.3f}s",
+            ]
+            for row in summary["slowest_runs"]
+        ]
+        sections.append(
+            "Slowest runs\n"
+            + format_table(["when (UTC)", "kind", "name", "outcome", "wall"], rows)
+        )
+    if args.last:
+        rows = [
+            [
+                str(record.get("ts", "?")),
+                str(record.get("kind", "?")),
+                str(record.get("name", "?")),
+                str(record.get("outcome", "?")),
+                f"{record.get('wall_seconds', 0.0):.3f}s",
+            ]
+            for record in records[-args.last :]
+        ]
+        sections.append(
+            f"Last {len(rows)} record(s)\n"
+            + format_table(["when (UTC)", "kind", "name", "outcome", "wall"], rows)
+        )
+    print("\n\n".join(sections))
+    return 0
+
+
+def _cmd_dash(args) -> int:
+    from repro.obs import dashboard, trend
+
+    if args.tolerance is not None and args.tolerance <= 0:
+        raise SystemExit("--tolerance must be positive")
+    if args.window is not None and args.window < 1:
+        raise SystemExit("--window must be at least 1")
+    bench_dir = args.bench_dir if args.bench_dir is not None else Path("benchmarks")
+    try:
+        path = dashboard.write_dashboard(
+            args.output,
+            bench_dir=bench_dir,
+            ledger_path=args.ledger,
+            markdown_path=args.markdown,
+            tolerance=args.tolerance
+            if args.tolerance is not None
+            else trend.DEFAULT_TOLERANCE,
+            window=args.window if args.window is not None else trend.DEFAULT_WINDOW,
+        )
+    except OSError as error:
+        raise SystemExit(f"cannot write dashboard: {error}") from error
+    print(f"wrote {path}")
+    if args.markdown is not None:
+        print(f"wrote {args.markdown}")
     return 0
 
 
@@ -857,13 +1134,17 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "dash":
+        return _cmd_dash(args)
 
     # Every remaining verb runs simulations and shares the telemetry flags;
     # the trace file is written even when the verb fails partway, so long
     # runs that die still leave an inspectable timeline behind.
     from repro.obs import cli_telemetry
 
-    finish = cli_telemetry(args.trace, args.log_level)
+    finish = cli_telemetry(args.trace, args.log_level, no_ledger=args.no_ledger)
     try:
         if args.command == "run":
             return _cmd_run(args)

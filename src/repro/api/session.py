@@ -36,7 +36,8 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 from repro.api.backends import get_backend
 from repro.api.request import SimRequest
 from repro.api.result import RunResult
-from repro.obs import TELEMETRY_KEY, metrics, trace
+from repro.obs import TELEMETRY_KEY, aggregate_phases, metrics, trace
+from repro.obs import ledger as run_ledger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.harness.cache import ResultCache
@@ -163,6 +164,7 @@ class Session:
             return None
         key = request.cache_key()
         payload = _RUN_MEMO.get(key) if self.memoize else None
+        memo_hit = payload is not None
         if payload is not None:
             # Refresh recency so a repeatedly-hit entry survives eviction
             # pressure (the memo is LRU, not FIFO).
@@ -178,6 +180,7 @@ class Session:
                         _memoise(key, dict(payload))
         if payload is None:
             return None
+        self._record_ledger(request, "memo" if memo_hit else "disk", payload)
         # Deep copy: the payload's nested dicts live in the process-wide
         # memo (or the cache entry); a caller mutating a returned detail
         # dict must not poison later hits of the same request.
@@ -219,11 +222,54 @@ class Session:
             payload.get("seconds", 0.0),
         )
 
+    # -- run ledger --------------------------------------------------------
+
+    @staticmethod
+    def _record_ledger(
+        request: SimRequest,
+        outcome: str,
+        payload: dict | None = None,
+        phases: dict | None = None,
+    ) -> None:
+        """One ledger line per finalised run (memo/disk/fresh/dedup/failed).
+
+        Recording happens strictly after the payload has been normalised
+        and admitted, so the bytes a caller (or the memo, or the disk
+        cache) sees are identical whether the ledger is on or off.
+        """
+        if not run_ledger.ledger_enabled():
+            return
+        payload = payload or {}
+        run_ledger.record_run(
+            "session",
+            f"{request.backend}:{request.dataset}",
+            outcome=outcome,
+            wall_seconds=payload.get("seconds", 0.0) if outcome == "fresh" else 0.0,
+            backend=request.backend,
+            dataset=request.dataset,
+            cache_key=request.cache_key(),
+            phases=phases,
+            metrics=payload.get("metrics"),
+        )
+
     # -- entry points ------------------------------------------------------
 
-    def _execute_in_process(self, request: SimRequest) -> dict:
-        """Run one request inline, handing the backend this session so
-        composite backends (``scaleout``) inherit its jobs/cache wiring."""
+    def _execute_in_process(self, request: SimRequest) -> tuple[dict, dict]:
+        """Run one request inline; returns ``(payload, phases)``.
+
+        The backend is handed this session so composite backends
+        (``scaleout``) inherit its jobs/cache wiring.  The per-phase
+        breakdown is collected — via the nesting-safe ``trace.collect``,
+        which leaves user-enabled tracing untouched — only while the run
+        ledger is recording, and is empty otherwise.
+        """
+        if not run_ledger.ledger_enabled():
+            return self._execute_body(request), {}
+        with trace.collect() as events:
+            payload = self._execute_body(request)
+        return payload, aggregate_phases(events)
+
+    def _execute_body(self, request: SimRequest) -> dict:
         with trace.span(
             "session.execute", backend=request.backend, dataset=request.dataset
         ):
@@ -277,8 +323,9 @@ class Session:
                 to_run.append(index)
         metrics.inc("session.fresh_runs", len(to_run))
 
-        def finalise(index: int, payload: dict) -> None:
+        def finalise(index: int, payload: dict, phases: dict | None = None) -> None:
             results[index] = self._admit(requests[index], payload)
+            self._record_ledger(requests[index], "fresh", payload, phases)
             if progress is not None:
                 progress(results[index])
             for dup in dups_of_source.get(index, ()):
@@ -286,6 +333,7 @@ class Session:
                 duplicate.status = "cached"
                 duplicate.seconds = 0.0
                 results[dup] = duplicate
+                self._record_ledger(requests[dup], "dedup", payload)
                 if progress is not None:
                     progress(duplicate)
 
@@ -293,9 +341,10 @@ class Session:
             "session.run_batch", requests=len(requests), fresh=len(to_run)
         ):
             if self.jobs > 1 and len(to_run) > 1:
-                # Ship worker telemetry home only while tracing: the spans
-                # are useless otherwise and the side-channel is not free.
-                telemetry = trace.enabled
+                # Ship worker telemetry home only while someone consumes
+                # it — the user's trace, or the run ledger (which needs
+                # the per-phase breakdown); the side-channel is not free.
+                telemetry = trace.enabled or run_ledger.ledger_enabled()
                 with ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(to_run))
                 ) as pool:
@@ -309,15 +358,30 @@ class Session:
                         done, _ = wait(pending, return_when=FIRST_COMPLETED)
                         for future in done:
                             index = pending.pop(future)
-                            payload = future.result()
+                            try:
+                                payload = future.result()
+                            except Exception:
+                                self._record_ledger(requests[index], "failed")
+                                raise
                             shipped = payload.pop(TELEMETRY_KEY, None)
+                            phases = None
                             if shipped is not None:
-                                trace.ingest(shipped.get("spans", ()))
-                                metrics.merge(shipped.get("metrics"))
-                            finalise(index, payload)
+                                if trace.enabled:
+                                    trace.ingest(shipped.get("spans", ()))
+                                    metrics.merge(shipped.get("metrics"))
+                                if run_ledger.ledger_enabled():
+                                    phases = aggregate_phases(
+                                        shipped.get("spans", ())
+                                    )
+                            finalise(index, payload, phases)
             else:
                 for index in to_run:
-                    finalise(index, self._execute_in_process(requests[index]))
+                    try:
+                        payload, phases = self._execute_in_process(requests[index])
+                    except Exception:
+                        self._record_ledger(requests[index], "failed")
+                        raise
+                    finalise(index, payload, phases)
 
         return [result for result in results if result is not None]
 

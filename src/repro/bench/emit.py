@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import math
 import re
 import subprocess
 from pathlib import Path
@@ -136,7 +137,11 @@ def validate_document(document: dict, allow_unnumbered: bool = False) -> None:
         if name in seen:
             raise BenchSchemaError(f"rung {name!r} appears twice")
         seen.add(name)
-        if not isinstance(sample["wall_seconds"], (int, float)) or sample["wall_seconds"] < 0:
+        if (
+            not isinstance(sample["wall_seconds"], (int, float))
+            or not math.isfinite(sample["wall_seconds"])
+            or sample["wall_seconds"] < 0
+        ):
             raise BenchSchemaError(f"rung {name!r} has an invalid wall_seconds")
         if not isinstance(sample["wall_samples"], list) or not sample["wall_samples"]:
             raise BenchSchemaError(f"rung {name!r} has no wall_samples")
@@ -146,13 +151,25 @@ def validate_document(document: dict, allow_unnumbered: bool = False) -> None:
         # attribution ({span name: seconds}); older documents lack it.
         phases = sample.get("phases")
         if phases is not None:
-            if not isinstance(phases, dict) or not all(
-                isinstance(key, str) and isinstance(value, (int, float))
-                for key, value in phases.items()
-            ):
+            if not isinstance(phases, dict):
                 raise BenchSchemaError(
                     f"rung {name!r} phases must map span names to seconds"
                 )
+            for key, value in phases.items():
+                # bool is an int subclass; NaN/inf pass isinstance checks —
+                # demand honest, finite, non-negative second counts so the
+                # trend engine never has to defend against them downstream.
+                if (
+                    not isinstance(key, str)
+                    or isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    or not math.isfinite(value)
+                    or value < 0
+                ):
+                    raise BenchSchemaError(
+                        f"rung {name!r} phases[{key!r}] must be a finite "
+                        f"non-negative number of seconds, got {value!r}"
+                    )
 
 
 def write_bench(document: dict, bench_dir: Path | str = DEFAULT_BENCH_DIR) -> Path:

@@ -20,7 +20,7 @@ import resource
 import time
 from dataclasses import dataclass, field
 
-from repro.obs import trace
+from repro.obs import aggregate_phases, trace
 
 # Cycle counts, DRAM bytes and energy must be independent of when or how
 # often a rung runs; wall-clock is the only quantity allowed to move.
@@ -128,12 +128,9 @@ def scenario_digest(rung: BenchRung | str) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _aggregate_phases(events: list[dict]) -> dict[str, float]:
-    """Total seconds per span name, sorted by name (nested spans overlap)."""
-    totals: dict[str, float] = {}
-    for event in events:
-        totals[event["name"]] = totals.get(event["name"], 0.0) + event["dur_us"] / 1e6
-    return {name: round(totals[name], 6) for name in sorted(totals)}
+# Phase aggregation is shared with the session's ledger recording:
+# repro.obs.aggregate_phases (total seconds per span name).
+_aggregate_phases = aggregate_phases
 
 
 def _run_once(rung: BenchRung) -> tuple[float, dict, dict]:

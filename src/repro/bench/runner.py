@@ -1,9 +1,17 @@
 """The bench driver shared by ``repro bench`` and ``benchmarks/perf.py``.
 
 Runs the requested rungs (each in its own worker process by default),
-emits the next ``BENCH_<n>.json``, and compares wall-clock against the
-previous document in the directory — exiting non-zero when any rung
-regressed by more than the allowed factor, so CI can gate on it.
+emits the next ``BENCH_<n>.json``, and checks the result for regressions
+— exiting non-zero on one, so CI can gate on it.  Two gates exist:
+
+* the legacy pairwise check (``--max-regression``) against only the
+  previous document, and
+* the trajectory gate (``--gate``), which classifies every rung against
+  a min-over-window baseline with a tolerance band via
+  :mod:`repro.obs.trend` — robust to single-document noise.
+
+Each measured rung also appends one ``bench`` record to the run ledger
+(:mod:`repro.obs.ledger`) unless it is disabled.
 """
 
 from __future__ import annotations
@@ -76,6 +84,23 @@ def _run_rung_isolated(name: str, repeats: int) -> dict:
     return merged
 
 
+def _record_bench_ledger(sample: dict) -> None:
+    """One ``bench`` ledger line per measured rung (no-op when disabled)."""
+    from repro.obs import ledger as run_ledger
+
+    if not run_ledger.ledger_enabled():
+        return
+    run_ledger.record_run(
+        "bench",
+        sample["rung"],
+        outcome="ok",
+        wall_seconds=sample["wall_seconds"],
+        scenario_digest=sample["scenario_digest"],
+        phases=sample.get("phases") or None,
+        metrics=sample["metrics"],
+    )
+
+
 def run_bench(
     rungs: list[str] | None = None,
     full: bool = False,
@@ -85,13 +110,22 @@ def run_bench(
     max_ratio: float = 2.0,
     notes: str = "",
     emit_json: bool = True,
+    gate: bool = False,
+    gate_tolerance: float | None = None,
+    gate_window: int | None = None,
     out=sys.stdout,
 ) -> int:
     """Run the ladder, emit the next document, report regressions.
 
-    Returns the process exit code: 0 on success, 1 when any comparable
-    rung regressed past ``max_ratio`` against the previous document.
+    Returns the process exit code: 0 on success, 1 on a regression.
+    With ``gate=False`` (legacy) a rung regresses when its wall-clock
+    exceeds ``max_ratio`` times the previous document's; with
+    ``gate=True`` the trend engine classifies each rung against the whole
+    committed trajectory (min-over-window baseline, ``gate_tolerance``
+    band) and any ``regressed`` verdict fails.
     """
+    from repro.obs import trend
+
     names = list(rungs) if rungs else list(FULL_LADDER if full else DEFAULT_LADDER)
     unknown = [name for name in names if name not in RUNGS]
     if unknown:
@@ -102,6 +136,9 @@ def run_bench(
     previous_path = emit.latest_bench_path(bench_dir)
     if previous_path is not None:
         previous = emit.load_bench(previous_path)
+    # Gate history must be captured before the new document is written,
+    # so the candidate never competes against itself.
+    history = trend.load_trajectory(bench_dir) if gate else []
 
     samples = []
     for name in names:
@@ -116,6 +153,7 @@ def run_bench(
             file=out,
         )
         samples.append(sample)
+        _record_bench_ledger(sample)
 
     document = emit.build_document(samples, notes=notes)
     exit_code = 0
@@ -123,7 +161,30 @@ def run_bench(
         path = emit.write_bench(document, bench_dir)
         print(f"wrote {path}", file=out)
 
-    if previous is not None:
+    if gate:
+        report = trend.evaluate_gate(
+            document,
+            history,
+            tolerance=gate_tolerance if gate_tolerance is not None else trend.DEFAULT_TOLERANCE,
+            window=gate_window if gate_window is not None else trend.DEFAULT_WINDOW,
+        )
+        for rung_trend in report.rungs:
+            print(f"  {rung_trend.describe()}", file=out)
+        if not report.ok:
+            names_failed = ", ".join(t.rung for t in report.regressions)
+            print(
+                f"trend gate FAILED (tolerance ±{report.tolerance * 100:.0f}%, "
+                f"window {report.window}): {names_failed}",
+                file=out,
+            )
+            exit_code = 1
+        else:
+            print(
+                f"trend gate passed (tolerance ±{report.tolerance * 100:.0f}%, "
+                f"window {report.window}, {report.documents} document(s) of history)",
+                file=out,
+            )
+    elif previous is not None:
         comparisons = emit.compare_documents(previous, document, max_ratio=max_ratio)
         for row in comparisons:
             if not row["comparable"]:
@@ -199,6 +260,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure and compare without writing a new BENCH_<n>.json",
     )
     parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="gate with the trend engine (min-over-window baseline + "
+        "tolerance band) against the whole trajectory instead of the "
+        "pairwise --max-regression check",
+    )
+    parser.add_argument(
+        "--gate-tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="symmetric tolerance band for --gate, e.g. 0.25 = ±25%% "
+        "(default from repro.obs.trend)",
+    )
+    parser.add_argument(
+        "--gate-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="how many recent comparable documents the --gate baseline "
+        "spans (default from repro.obs.trend)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append bench records to the run ledger",
+    )
+    parser.add_argument(
         "--trace",
         type=Path,
         default=None,
@@ -221,7 +310,7 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit("--repeats must be at least 1")
     from repro.obs import cli_telemetry
 
-    finish = cli_telemetry(args.trace, args.log_level)
+    finish = cli_telemetry(args.trace, args.log_level, no_ledger=args.no_ledger)
     try:
         return run_bench(
             rungs=args.rungs,
@@ -232,6 +321,9 @@ def main(argv: list[str] | None = None) -> int:
             max_ratio=args.max_regression,
             notes=args.notes,
             emit_json=not args.no_emit,
+            gate=args.gate,
+            gate_tolerance=args.gate_tolerance,
+            gate_window=args.gate_window,
         )
     except (ValueError, RuntimeError, emit.BenchSchemaError) as error:
         raise SystemExit(str(error)) from error

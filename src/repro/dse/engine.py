@@ -46,7 +46,7 @@ from repro.dse.space import ParameterSpace, candidate_key, get_space
 from repro.harness.cache import ResultCache, config_fingerprint
 from repro.harness.config import ExperimentConfig, default_config
 from repro.harness.report import ExperimentResult
-from repro.obs import get_logger
+from repro.obs import get_logger, record_run
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 
@@ -408,6 +408,21 @@ class DSERunner:
             generations=generation,
             total_seconds=time.perf_counter() - start,
             code_version=self.cache.code_version if self.cache is not None else "",
+        )
+        record_run(
+            "dse",
+            f"dse:{self.space.name}",
+            outcome="ok" if report.ok else "failed",
+            wall_seconds=report.total_seconds,
+            metrics={
+                "evaluations": len(report.evaluations),
+                "ran": report.num_ran,
+                "cached": report.num_cached,
+                "failed": report.num_failed,
+                "frontier_points": len(report.frontier),
+            },
+            sampler=report.sampler_name,
+            seed=self.seed,
         )
         if self.results_dir is not None:
             self.write_reports(report)

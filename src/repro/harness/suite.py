@@ -31,7 +31,7 @@ from repro.harness.cache import ResultCache, config_fingerprint
 from repro.harness.config import ExperimentConfig, default_config
 from repro.harness.registry import get_experiment, list_experiments
 from repro.harness.report import ExperimentResult, format_markdown_table, json_default
-from repro.obs import get_logger, metrics, trace
+from repro.obs import get_logger, metrics, record_run, trace
 
 _log = get_logger("harness.suite")
 
@@ -230,6 +230,7 @@ class SuiteRunner:
                 if cached is not None:
                     outcomes[name] = SuiteOutcome(name=name, status="cached", result=cached)
                     metrics.inc("suite.cached")
+                    record_run("suite", name, outcome="cached")
                     if progress:
                         progress(outcomes[name])
                 else:
@@ -266,6 +267,12 @@ class SuiteRunner:
     ) -> None:
         outcomes[outcome.name] = outcome
         metrics.inc(f"suite.{outcome.status}")
+        record_run(
+            "suite",
+            outcome.name,
+            outcome=outcome.status,
+            wall_seconds=outcome.seconds,
+        )
         if outcome.status == "failed":
             _log.warning("experiment %s failed", outcome.name)
         if outcome.status == "ran" and self.cache is not None and self.use_cache:

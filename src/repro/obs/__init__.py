@@ -11,6 +11,9 @@ package).  Three process-wide singletons do the work:
   (memo hits, disk hits, batch dedup, chips run, bytes exchanged).
 * :func:`get_logger` — the ``repro.*`` structured-logging hierarchy,
   silent until :func:`configure_logging` attaches the JSON-lines handler.
+* :func:`record_run` — the append-only run ledger
+  (:mod:`repro.obs.ledger`): one crash-safe JSONL line per run, queried
+  by ``repro stats`` and rendered by ``repro dash``.
 
 Cross-process spans travel in a side-channel dict keyed
 :data:`TELEMETRY_KEY` that the session strips from worker payloads before
@@ -25,18 +28,33 @@ from repro.obs.export import (
     validate_trace,
     write_trace,
 )
+from repro.obs.ledger import (
+    LEDGER_ENV,
+    RunLedger,
+    disable_ledger,
+    enable_ledger,
+    ledger_enabled,
+    ledger_path,
+    load_ledger,
+    record_run,
+)
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry, hit_rate, metrics
 from repro.obs.summary import summarize_trace
-from repro.obs.tracer import Tracer, trace
+from repro.obs.tracer import Tracer, aggregate_phases, trace
+
+# The analytics layer — repro.obs.trend and repro.obs.dashboard — is *not*
+# re-exported here: those modules read BENCH_<n>.json documents through
+# repro.bench.emit and therefore sit above this substrate package, not
+# below it.  Import them as modules (``from repro.obs import trend``).
 
 #: Key under which workers attach telemetry to result payloads; the session
 #: pops it before the payload reaches memoisation, storage or the caller.
 TELEMETRY_KEY = "__repro_telemetry__"
 
 
-def cli_telemetry(trace_path=None, log_level=None):
-    """Apply the shared ``--trace`` / ``--log-level`` CLI flags.
+def cli_telemetry(trace_path=None, log_level=None, no_ledger=False):
+    """Apply the shared ``--trace`` / ``--log-level`` / ``--no-ledger`` flags.
 
     Enables what was asked for and returns a zero-argument finaliser that
     writes the trace file (if any); callers run it after the verb finishes,
@@ -46,6 +64,8 @@ def cli_telemetry(trace_path=None, log_level=None):
         configure_logging(log_level)
     if trace_path:
         trace.enable()
+    if no_ledger:
+        disable_ledger()
 
     def finish():
         if trace_path:
@@ -56,17 +76,26 @@ def cli_telemetry(trace_path=None, log_level=None):
 
 
 __all__ = [
+    "LEDGER_ENV",
     "MetricsRegistry",
+    "RunLedger",
     "SCHEMA",
     "TELEMETRY_KEY",
     "TraceSchemaError",
     "Tracer",
+    "aggregate_phases",
     "cli_telemetry",
     "configure_logging",
+    "disable_ledger",
+    "enable_ledger",
     "get_logger",
     "hit_rate",
+    "ledger_enabled",
+    "ledger_path",
+    "load_ledger",
     "load_trace",
     "metrics",
+    "record_run",
     "summarize_trace",
     "to_chrome_trace",
     "trace",

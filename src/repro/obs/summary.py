@@ -12,7 +12,8 @@ from __future__ import annotations
 from repro.obs.metrics import hit_rate
 
 
-def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text column alignment, shared by ``repro trace`` and ``repro stats``."""
     widths = [len(header) for header in headers]
     for row in rows:
         for column, cell in enumerate(row):
@@ -113,7 +114,7 @@ def summarize_trace(document: dict, top: int = 15) -> str:
         ]
         sections.append(
             f"Top spans by total time (showing {len(rows)} of {len(spans)})\n"
-            + _format_table(["span", "count", "total", "mean"], rows)
+            + format_table(["span", "count", "total", "mean"], rows)
         )
 
         phases = phase_breakdown(document)
@@ -125,7 +126,7 @@ def summarize_trace(document: dict, top: int = 15) -> str:
             ]
             sections.append(
                 "Phase breakdown (root spans)\n"
-                + _format_table(["phase", "count", "total", "share"], rows)
+                + format_table(["phase", "count", "total", "share"], rows)
             )
 
     cache_rows = [
@@ -133,6 +134,6 @@ def summarize_trace(document: dict, top: int = 15) -> str:
         for name, rate, detail in cache_summary(document)
     ]
     sections.append(
-        "Cache behaviour\n" + _format_table(["cache", "hit rate", "detail"], cache_rows)
+        "Cache behaviour\n" + format_table(["cache", "hit rate", "detail"], cache_rows)
     )
     return "\n\n".join(sections)

@@ -194,5 +194,20 @@ class _Collector:
         return False
 
 
+def aggregate_phases(events: Iterable[dict], precision: int = 6) -> dict[str, float]:
+    """Total seconds per span name, sorted by name.
+
+    The phase breakdown recorded in bench samples and ledger lines.
+    Nested spans overlap (a ``session.execute`` contains its
+    ``workload.bundle``), so the values are per-name totals, not an
+    exclusive decomposition — consumers that stack phases must pick a
+    disjoint subset (see :mod:`repro.obs.dashboard`).
+    """
+    totals: dict[str, float] = {}
+    for event in events:
+        totals[event["name"]] = totals.get(event["name"], 0.0) + event["dur_us"] / 1e6
+    return {name: round(totals[name], precision) for name in sorted(totals)}
+
+
 #: The process-wide tracer every instrumentation site records into.
 trace = Tracer()

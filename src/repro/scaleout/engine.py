@@ -41,6 +41,7 @@ rounds away.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -56,7 +57,7 @@ from repro.harness.report import ExperimentResult
 from repro.harness.suite import DEFAULT_RESULTS_DIR
 from repro.harness.workloads import get_bundle
 from repro.obs import metrics as obs_metrics
-from repro.obs import trace
+from repro.obs import record_run, trace
 from repro.scaleout.interconnect import InterconnectModel
 from repro.scaleout.shard import ShardPlan, build_shard_plan
 from repro.scaleout.topology import ChipTopology
@@ -469,14 +470,45 @@ class ScaleOutSimulator:
                 f"{list(self.config.datasets)}"
             )
         num_chips = self.topology.num_chips
-        with trace.span("scaleout.run", dataset=dataset, chips=num_chips):
-            shard_plan = get_shard_plan(dataset, self.config, num_chips, self.shard_method)
-            outcomes = self._evaluate_chips(dataset, num_chips, shard_plan)
-            if num_chips == 1:
-                single_chip_cycles = float(outcomes[0].result.total_cycles)
-            else:
-                single_chip_cycles = self._single_chip_total_cycles(dataset)
-            return self._compose(dataset, shard_plan, outcomes, single_chip_cycles)
+        started = time.perf_counter()
+        try:
+            with trace.span("scaleout.run", dataset=dataset, chips=num_chips):
+                shard_plan = get_shard_plan(
+                    dataset, self.config, num_chips, self.shard_method
+                )
+                outcomes = self._evaluate_chips(dataset, num_chips, shard_plan)
+                if num_chips == 1:
+                    single_chip_cycles = float(outcomes[0].result.total_cycles)
+                else:
+                    single_chip_cycles = self._single_chip_total_cycles(dataset)
+                result = self._compose(
+                    dataset, shard_plan, outcomes, single_chip_cycles
+                )
+        except Exception:
+            record_run(
+                "scaleout",
+                f"{self.report_name}:{dataset}",
+                outcome="failed",
+                wall_seconds=time.perf_counter() - started,
+                backend="scaleout",
+                dataset=dataset,
+            )
+            raise
+        record_run(
+            "scaleout",
+            f"{self.report_name}:{dataset}",
+            outcome="ok",
+            wall_seconds=time.perf_counter() - started,
+            backend="scaleout",
+            dataset=dataset,
+            metrics={
+                "chips": num_chips,
+                "system_cycles": result.system_cycles,
+                "interchip_bytes": result.interchip_bytes,
+                "scaling_efficiency": result.scaling_efficiency,
+            },
+        )
+        return result
 
     def run_all(
         self, progress: Callable[[ScaleOutResult], None] | None = None

@@ -7,6 +7,13 @@ still exercising the real code paths end to end.
 
 from __future__ import annotations
 
+import os
+
+# Tests must never append to the repository's real run ledger
+# (benchmarks/ledger.jsonl); ledger tests opt back in on tmp paths.
+# Set before any repro import so CLI subprocesses inherit it too.
+os.environ["REPRO_LEDGER"] = "0"
+
 import numpy as np
 import pytest
 

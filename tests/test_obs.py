@@ -520,6 +520,35 @@ def test_bench_schema_rejects_malformed_phases():
         emit.build_document([sample], git_rev="test")
 
 
+@pytest.mark.parametrize(
+    "bad_value",
+    [float("nan"), float("inf"), float("-inf"), -0.001, True, None, [1.0]],
+)
+def test_bench_schema_rejects_non_finite_phase_values(bad_value):
+    # Regression: NaN/inf sail through a bare isinstance((int, float))
+    # check and bool is an int subclass; all must be rejected with the
+    # offending rung and key named.
+    from repro.bench import emit
+    from repro.bench.ladder import run_rung
+
+    sample = run_rung("grow-1k")
+    sample["phases"] = dict(sample["phases"], **{"grow.run_model": bad_value})
+    with pytest.raises(emit.BenchSchemaError, match=r"grow-1k.*phases\['grow.run_model'\]"):
+        emit.build_document([sample], git_rev="test")
+
+
+def test_bench_schema_rejects_non_string_phase_keys():
+    from repro.bench import emit
+    from repro.bench.ladder import run_rung
+
+    sample = run_rung("grow-1k")
+    phases = dict(sample["phases"])
+    phases[42] = 1.0
+    sample["phases"] = phases
+    with pytest.raises(emit.BenchSchemaError, match="phases"):
+        emit.build_document([sample], git_rev="test")
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
