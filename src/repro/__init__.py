@@ -38,7 +38,28 @@ Or from the command line (see README.md for the full workflow)::
 
 __version__ = "1.1.0"
 
-from repro.core import GrowConfig, GrowSimulator
-from repro.accelerators import GCNAXSimulator
+#: Convenience exports, resolved lazily (PEP 562) so that ``import repro``
+#: stays standard-library-cheap: the stdlib-only subsystems (``repro.obs``,
+#: ``repro.analyze`` — e.g. ``python -m repro check`` on a bare
+#: interpreter) must be reachable without pulling in the numpy-backed
+#: simulation stack.
+_LAZY_EXPORTS = {
+    "GrowConfig": "repro.core",
+    "GrowSimulator": "repro.core",
+    "GCNAXSimulator": "repro.accelerators",
+}
 
 __all__ = ["GrowConfig", "GrowSimulator", "GCNAXSimulator", "__version__"]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -25,6 +25,10 @@ Commands:
   append the measurements as ``benchmarks/BENCH_<n>.json`` (the
   repository's performance trajectory), failing on wall-clock
   regressions beyond the allowed factor.
+* ``check``                      — run the static-analysis invariant
+  checker (``repro.analyze``) over the source tree: layering,
+  determinism, cache-identity, pool-safety and exception-hygiene rules
+  (``--json``, ``--rules``, baseline support; exits 1 on new findings).
 * ``trace <file>``               — summarise a trace written by ``--trace``:
   top spans, phase breakdown, cache hit rates.
 * ``stats``                      — query the persistent run ledger
@@ -283,6 +287,13 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "bench",
         help="run the benchmark ladder and append BENCH_<n>.json",
+        add_help=False,
+    )
+
+    subparsers.add_parser(
+        "check",
+        help="run the static-analysis invariant checker (layering, "
+        "determinism, cache identity, pools, exception hygiene)",
         add_help=False,
     )
 
@@ -1125,6 +1136,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.runner import main as bench_main
 
         return bench_main(raw[1:])
+    if raw and raw[0] == "check":
+        # The check verb owns its argument parsing and must work without
+        # the simulation stack's dependencies (repro.analyze is
+        # stdlib-only), so delegate before importing anything heavy.
+        from repro.analyze.cli import main as check_main
+
+        return check_main(raw[1:])
     args = _build_parser().parse_args(raw)
     if args.command == "list":
         return _cmd_list(args)

@@ -1,0 +1,148 @@
+"""The committed baseline: grandfathered findings, each with a reason.
+
+The baseline is a small JSON document listing findings that are known,
+justified, and deliberately not (yet) fixed.  ``repro check`` subtracts
+baselined findings before deciding its exit code, so CI fails only on
+*new* violations.  Entries key on ``(rule, path, message)`` — stable
+against line drift — and carry a mandatory human ``reason``; an entry
+without one is rejected at load, so the baseline cannot silently
+accumulate unjustified exemptions.  Stale entries (nothing matches them
+any more) are reported so the file shrinks as violations get fixed.
+
+Schema::
+
+    {"schema": 1,
+     "findings": [
+       {"rule": "DET001", "path": "repro/x/y.py",
+        "message": "...", "reason": "why this is grandfathered"}]}
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.analyze.findings import Finding
+
+BASELINE_SCHEMA = 1
+
+#: The baseline shipped with the package (committed; near-empty by policy).
+DEFAULT_BASELINE_NAME = "baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or violates the schema."""
+
+
+#: What ``write_baseline`` stamps on entries nobody has justified yet.
+#: The loader rejects it (and any TODO-prefixed reason), so an updated
+#: baseline cannot pass CI until each new exemption is argued for.
+PLACEHOLDER_REASON = "TODO: justify this grandfathered finding"
+
+
+def default_baseline_path(root: Path) -> Path:
+    """The conventional baseline location for a scan root: the analyzer's
+    own package directory when scanning this repo, else ``<root>/<name>``."""
+    packaged = root / "analyze" / DEFAULT_BASELINE_NAME
+    if packaged.parent.is_dir():
+        return packaged
+    return root / DEFAULT_BASELINE_NAME
+
+
+def load_baseline(path: Path) -> list[dict[str, Any]]:
+    """Validated baseline entries (rule/path/message/reason dicts)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from None
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} must be an object with \"schema\": {BASELINE_SCHEMA}"
+        )
+    entries = data.get("findings")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path} must carry a \"findings\" list")
+    validated = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path} entry {index} is not an object")
+        missing = [k for k in ("rule", "path", "message", "reason") if k not in entry]
+        if missing:
+            raise BaselineError(
+                f"baseline {path} entry {index} is missing {missing}; every "
+                f"grandfathered finding needs a rule, a path, a message and a "
+                f"justifying reason"
+            )
+        reason = str(entry["reason"]).strip()
+        if not reason or reason.upper().startswith("TODO"):
+            raise BaselineError(
+                f"baseline {path} entry {index} has an empty or placeholder "
+                f"reason; justify the exemption or fix the finding"
+            )
+        validated.append(entry)
+    return validated
+
+
+def split_by_baseline(
+    findings: list[Finding], entries: list[dict[str, Any]]
+) -> tuple[list[Finding], list[Finding], list[dict[str, Any]]]:
+    """Partition findings into (new, baselined) and report stale entries.
+
+    Matching consumes baseline entries by multiplicity: two identical
+    findings need two entries, so fixing one of two duplicated violations
+    still surfaces the survivor... as baselined, and the freed entry as
+    stale.
+    """
+    budget = Counter((e["rule"], e["path"], e["message"]) for e in entries)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = []
+    for entry in entries:
+        key = (entry["rule"], entry["path"], entry["message"])
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            stale.append(entry)
+    return new, baselined, stale
+
+
+def write_baseline(
+    path: Path, findings: list[Finding], previous: list[dict[str, Any]]
+) -> int:
+    """Write the baseline covering exactly the current findings.
+
+    Reasons of surviving entries are preserved; genuinely new entries get
+    a placeholder reason that the loader will *reject*, forcing whoever
+    updates the baseline to justify each addition before it can pass.
+    Returns the number of entries written.
+    """
+    reasons: dict[tuple[str, str, str], list[str]] = {}
+    for entry in previous:
+        key = (entry["rule"], entry["path"], entry["message"])
+        reasons.setdefault(key, []).append(str(entry["reason"]))
+    entries = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = finding.baseline_key()
+        pool = reasons.get(key)
+        reason = pool.pop(0) if pool else ""
+        entries.append(
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "reason": reason or PLACEHOLDER_REASON,
+            }
+        )
+    document = {"schema": BASELINE_SCHEMA, "findings": entries}
+    Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

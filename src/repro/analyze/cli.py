@@ -1,0 +1,236 @@
+"""The ``repro check`` verb: run the invariant checker from the shell.
+
+Stdlib-only, like the rest of ``repro.analyze`` — the checker must run
+(and CI must be able to gate) even where the simulation stack's
+third-party dependencies are absent, which is also why the default scan
+root is derived from this file's location rather than by importing the
+``repro`` package.
+
+Exit codes: ``0`` clean (new findings absent; baselined/suppressed ones
+are reported but do not fail), ``1`` new findings, ``2`` usage or
+configuration errors (bad root, unknown rule, broken baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import json
+import sys
+from pathlib import Path
+
+from repro.analyze.baseline import (
+    BaselineError,
+    default_baseline_path,
+    load_baseline,
+    write_baseline,
+)
+from repro.analyze.engine import run_check
+from repro.analyze.findings import Finding
+from repro.analyze.project import Project, ProjectError
+from repro.analyze.rules import RULES, families, rule_ids, select_rules
+
+
+def _default_root() -> Path:
+    # src/repro/analyze/cli.py -> src/repro (no `import repro`: the
+    # checker stays importable without the simulation stack's deps).
+    return Path(__file__).resolve().parent.parent
+
+
+def _unknown_rule_message(name: str) -> str:
+    known = rule_ids() + families()
+    message = f"unknown rule {name!r}"
+    close = difflib.get_close_matches(name.upper(), known, n=3, cutoff=0.4)
+    if close:
+        message += f"; did you mean {', '.join(close)}?"
+    return (
+        f"{message} (rules: {', '.join(rule_ids())}; "
+        f"families: {', '.join(families())})"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Static-analysis invariant checker: enforces the repo's "
+            "determinism, layering and cache-identity contracts "
+            "(docs/architecture.md) over the source tree."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="package directory to scan (default: the installed repro package, "
+        "i.e. src/repro in a checkout)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="append",
+        default=None,
+        metavar="LIST",
+        help="comma-separated rule ids or families to run (repeatable), e.g. "
+        "'LAY' or 'DET001,EXC'; default: every rule",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="baseline of grandfathered findings (default: the committed "
+        "src/repro/analyze/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover exactly the current findings "
+        "(new entries get a placeholder reason that must be justified "
+        "before the baseline will load again)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the check report as JSON (schema-versioned, like "
+        "'repro stats --json')",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule id with its family, summary and the contract "
+        "it enforces, then exit",
+    )
+    return parser
+
+
+def _parse_rule_selectors(values) -> list[str] | None:
+    if not values:
+        return None
+    selectors: list[str] = []
+    for value in values:
+        selectors.extend(token.strip() for token in value.split(",") if token.strip())
+    return selectors or None
+
+
+def _print_human(report, baseline_path: Path | None) -> None:
+    for finding in report.findings:
+        print(finding.render())
+    if report.parse_errors:
+        for error in report.parse_errors:
+            print(f"parse error: {error}", file=sys.stderr)
+    counts = (
+        f"{len(report.findings)} new finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    print(
+        f"checked {report.files_scanned} file(s) under {report.root} "
+        f"with {len(report.rules)} rule(s): {counts}"
+    )
+    if report.stale_baseline:
+        names = ", ".join(
+            f"{e['rule']} {e['path']}" for e in report.stale_baseline[:5]
+        )
+        more = "" if len(report.stale_baseline) <= 5 else ", ..."
+        print(
+            f"note: {len(report.stale_baseline)} stale baseline entr"
+            f"{'y' if len(report.stale_baseline) == 1 else 'ies'} "
+            f"({names}{more}) no longer match anything — prune "
+            f"{baseline_path} (or run --update-baseline)",
+            file=sys.stderr,
+        )
+    for entry in report.reasonless_suppressions:
+        print(
+            f"note: suppression without a reason at {entry['path']}:"
+            f"{entry['line']} is ignored — say why: "
+            f"'# repro: allow(RULE-ID) reason'",
+            file=sys.stderr,
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.rule_id}  [{rule.family}]  {rule.summary}")
+            print(f"        contract: {rule.contract}")
+        return 0
+
+    selectors = _parse_rule_selectors(args.rules)
+    try:
+        select_rules(selectors)
+    except KeyError as error:
+        print(_unknown_rule_message(error.args[0]), file=sys.stderr)
+        return 2
+
+    root = (args.root if args.root is not None else _default_root()).resolve()
+    if args.baseline is not None and args.no_baseline:
+        print("--baseline and --no-baseline are mutually exclusive", file=sys.stderr)
+        return 2
+    baseline_path: Path | None
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = args.baseline
+    else:
+        baseline_path = default_baseline_path(root)
+
+    if args.update_baseline:
+        return _update_baseline(root, selectors, baseline_path)
+
+    try:
+        report = run_check(root, rule_names=selectors, baseline_path=baseline_path)
+    except ProjectError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except BaselineError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_human(report, baseline_path)
+    return 0 if report.ok else 1
+
+
+def _update_baseline(root, selectors, baseline_path: Path | None) -> int:
+    if baseline_path is None:
+        print("--update-baseline needs a baseline path (drop --no-baseline)",
+              file=sys.stderr)
+        return 2
+    try:
+        # Findings that survive suppressions are what the baseline covers.
+        from repro.analyze.engine import apply_suppressions, run_rules
+        from repro.analyze.rules import select_rules as _select
+
+        project = Project.load(root)
+        kept, _ = apply_suppressions(project, run_rules(project, _select(selectors)))
+        previous = load_baseline(baseline_path) if baseline_path.exists() else []
+    except (ProjectError, BaselineError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    count = write_baseline(baseline_path, kept, previous)
+    placeholders = sum(
+        1 for f in kept
+        if f.baseline_key() not in {(e["rule"], e["path"], e["message"]) for e in previous}
+    )
+    print(f"wrote {baseline_path}: {count} entr{'y' if count == 1 else 'ies'}")
+    if placeholders:
+        print(
+            f"{placeholders} new entr{'y needs' if placeholders == 1 else 'ies need'} "
+            f"a justifying reason before the baseline will load — edit the "
+            f"'reason' fields (policy: fix findings instead whenever feasible)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,268 @@
+"""The project model: parsed modules, layers and the import graph.
+
+The analyzer parses every ``.py`` file under one *scan root* — the
+directory of the package being checked (``src/repro`` for this repo, a
+synthetic fixture tree in the analyzer's own tests).  Each file becomes a
+:class:`ModuleInfo` carrying its AST, its dotted module name, its *layer*
+(the first-level package under the root — ``core``, ``harness``, ``obs``
+...), and its inline suppression table.  The :class:`Project` aggregates
+them and exposes the two import views the rules consume:
+
+* **module-scope imports** — statements executed at import time (skipping
+  ``if TYPE_CHECKING:`` bodies), the edges the layer DAG constrains;
+* **all imports** — module-scope *and* call-time, for contracts that hold
+  at any scope (engines never import the harness, ``obs`` stays
+  stdlib-only).
+
+Imports are resolved against the scanned tree itself: an import of
+``<root>.x.y`` is *internal* and lands on the most specific scanned
+module matching the dotted path, so the graph has real modules as nodes
+and never invents edges through ancestor packages (mid-cycle partial
+modules are a runtime-tolerated Python idiom; flagging them would be
+noise).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analyze.suppress import Suppressions, parse_suppressions
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, resolved.
+
+    Attributes:
+        target: the imported dotted name (absolute, e.g. ``repro.graph.registry``
+            or ``numpy``); relative imports are resolved against the
+            importing module.
+        line: 1-based line of the import statement.
+        module_scope: True when the statement executes at import time.
+        internal: True when the target lives inside the scanned tree.
+        resolved: for internal edges, the dotted name of the scanned module
+            the import lands on (the module itself, or a package's
+            ``__init__`` when only the package matches).
+    """
+
+    target: str
+    line: int
+    module_scope: bool
+    internal: bool
+    resolved: str | None = None
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path
+    rel: str  # POSIX path relative to the scan root's parent (e.g. "repro/core/x.py")
+    name: str  # dotted module name (e.g. "repro.core.x"; packages end in the package name)
+    layer: str  # first-level package under the root ("" for root-level modules)
+    basename: str  # file stem ("x", "__init__", "__main__")
+    tree: ast.Module
+    lines: list[str]
+    suppressions: Suppressions
+    imports: list[ImportEdge] = field(default_factory=list)
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.basename == "__init__"
+
+
+class ProjectError(Exception):
+    """The scan root is unusable (missing, empty, or unparseable in a way
+    that prevents any analysis)."""
+
+
+def _iter_type_checking_free(statements, module_scope=True):
+    """Yield (stmt, module_scope) pairs, descending into compound
+    statements; ``if TYPE_CHECKING:`` bodies are skipped entirely (they
+    never execute), and function/class bodies demote to call-time scope."""
+    for node in statements:
+        yield node, module_scope
+        if isinstance(node, ast.If):
+            test = node.test
+            is_type_checking = (
+                isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+            ) or (isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING")
+            if not is_type_checking:
+                yield from _iter_type_checking_free(node.body, module_scope)
+            yield from _iter_type_checking_free(node.orelse, module_scope)
+        elif isinstance(node, ast.Try):
+            for block in (node.body, node.orelse, node.finalbody):
+                yield from _iter_type_checking_free(block, module_scope)
+            for handler in node.handlers:
+                yield from _iter_type_checking_free(handler.body, module_scope)
+        elif isinstance(node, (ast.With, ast.For, ast.While)):
+            yield from _iter_type_checking_free(node.body, module_scope)
+            yield from _iter_type_checking_free(
+                getattr(node, "orelse", []), module_scope
+            )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield from _iter_type_checking_free(node.body, False)
+
+
+def _raw_imports(tree: ast.Module, module_name: str, is_package: bool):
+    """Yield (dotted_target, line, module_scope, from_names) for every
+    import statement; relative imports are made absolute."""
+    for node, module_scope in _iter_type_checking_free(tree.body):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno, module_scope, ()
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                # Resolve "from ..x import y" against this module's package.
+                parts = module_name.split(".")
+                # A package's __init__ resolves level-1 to itself.
+                anchor = parts if is_package else parts[:-1]
+                if node.level - 1 > len(anchor):
+                    continue  # malformed; the import would fail at runtime
+                kept = anchor[: len(anchor) - (node.level - 1)]
+                base = ".".join(kept + ([node.module] if node.module else []))
+            if base:
+                names = tuple(alias.name for alias in node.names)
+                yield base, node.lineno, module_scope, names
+
+
+class Project:
+    """Every parsed module under one scan root, plus the import graph."""
+
+    def __init__(self, root: Path, modules: list[ModuleInfo]):
+        self.root = root
+        self.top_package = root.name
+        self.modules = sorted(modules, key=lambda m: m.rel)
+        self.by_name: dict[str, ModuleInfo] = {m.name: m for m in self.modules}
+        self.parse_errors: list[str] = []
+        self._resolve_imports()
+
+    # -- loading -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, root: Path) -> "Project":
+        root = Path(root)
+        if not root.is_dir():
+            raise ProjectError(
+                f"scan root {root} is not a directory; point --root at the "
+                f"package to check (this repo's is src/repro)"
+            )
+        modules: list[ModuleInfo] = []
+        errors: list[str] = []
+        for path in sorted(root.rglob("*.py")):
+            rel_to_root = path.relative_to(root)
+            if "__pycache__" in rel_to_root.parts:
+                continue
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError, UnicodeDecodeError) as error:
+                errors.append(f"{path}: {error}")
+                continue
+            parts = rel_to_root.parts
+            basename = path.stem
+            dotted = [root.name, *parts[:-1]]
+            if basename != "__init__":
+                dotted.append(basename)
+            layer = parts[0] if len(parts) > 1 else ""
+            lines = source.splitlines()
+            modules.append(
+                ModuleInfo(
+                    path=path,
+                    rel=(Path(root.name) / rel_to_root).as_posix(),
+                    name=".".join(dotted),
+                    layer=layer,
+                    basename=basename,
+                    tree=tree,
+                    lines=lines,
+                    suppressions=parse_suppressions(lines),
+                )
+            )
+        if not modules:
+            detail = "; ".join(errors) if errors else "no .py files found"
+            raise ProjectError(
+                f"nothing to check under {root} ({detail}); point --root at a "
+                f"Python package directory"
+            )
+        project = cls(root, modules)
+        project.parse_errors = errors
+        return project
+
+    # -- import resolution -------------------------------------------------
+
+    def _resolve_internal(self, dotted: str) -> str | None:
+        """The most specific scanned module a dotted import lands on."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            name = ".".join(parts[:end])
+            if name in self.by_name:
+                return name
+        return None
+
+    def _resolve_imports(self) -> None:
+        top = self.top_package
+        for module in self.modules:
+            is_package = module.is_package_init
+            edges: list[ImportEdge] = []
+            for base, line, module_scope, names in _raw_imports(
+                module.tree, module.name, is_package
+            ):
+                internal = base == top or base.startswith(top + ".")
+                if internal and names:
+                    # "from pkg import a, b": each name may itself be a
+                    # scanned module (a submodule import), otherwise the
+                    # edge lands on the package.
+                    for name in names:
+                        candidate = f"{base}.{name}"
+                        resolved = self._resolve_internal(candidate)
+                        if resolved is None:
+                            resolved = self._resolve_internal(base)
+                        edges.append(
+                            ImportEdge(
+                                target=candidate if resolved else base,
+                                line=line,
+                                module_scope=module_scope,
+                                internal=True,
+                                resolved=resolved,
+                            )
+                        )
+                elif internal:
+                    edges.append(
+                        ImportEdge(
+                            target=base,
+                            line=line,
+                            module_scope=module_scope,
+                            internal=True,
+                            resolved=self._resolve_internal(base),
+                        )
+                    )
+                else:
+                    edges.append(
+                        ImportEdge(
+                            target=base, line=line, module_scope=module_scope,
+                            internal=False,
+                        )
+                    )
+            module.imports = edges
+
+    # -- views the rules consume ------------------------------------------
+
+    def layer_of(self, dotted: str) -> str:
+        """The layer (first-level package) a dotted internal name lives in;
+        ``""`` for the top package itself."""
+        parts = dotted.split(".")
+        return parts[1] if len(parts) > 1 else ""
+
+    def internal_edges(self, module_scope_only: bool = True):
+        """Yield (module, edge) pairs for internal imports."""
+        for module in self.modules:
+            for edge in module.imports:
+                if not edge.internal:
+                    continue
+                if module_scope_only and not edge.module_scope:
+                    continue
+                yield module, edge

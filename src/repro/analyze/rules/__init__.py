@@ -1,0 +1,56 @@
+"""The rule engine: rule protocol, registry, and the five families.
+
+A rule is a named check over a parsed :class:`~repro.analyze.project.Project`
+yielding :class:`~repro.analyze.findings.Finding`s.  Rules register
+themselves by id at import; families group them for ``--rules`` selection
+(``--rules LAY`` selects every layering rule, ``--rules DET001`` exactly
+one).
+
+Families:
+
+* ``LAY`` — layering: the architecture.md layer DAG, the stdlib-only
+  substrate, import-cycle freedom, engines-never-import-orchestration.
+* ``DET`` — determinism: no wall-clock, unseeded-RNG or environment reads
+  in engine/cache-key code paths.
+* ``KEY`` — cache identity: every request field reaches
+  ``canonical_json()``; frozen dataclasses are only mutated during
+  ``__post_init__`` canonicalisation.
+* ``POOL`` — pool safety: process-pool workers must be module-level
+  callables (spawn-start pickling).
+* ``EXC`` — exception hygiene: no bare ``except:``, no silent swallowing
+  in engines.
+
+The protocol and registry live in :mod:`repro.analyze.rules.base`; the
+family modules import from there (not from this package) so the
+module-scope import graph stays cycle-free under the checker's own
+``LAY003``.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.rules.base import (  # noqa: F401  (public re-exports)
+    RULES,
+    Rule,
+    families,
+    register,
+    rule_ids,
+    select_rules,
+)
+
+# Importing the family modules registers every rule.
+from repro.analyze.rules import (  # noqa: E402,F401  (registration imports)
+    determinism,
+    hygiene,
+    identity,
+    layering,
+    pools,
+)
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "families",
+    "register",
+    "rule_ids",
+    "select_rules",
+]

@@ -1,0 +1,85 @@
+"""Rule protocol and registry.
+
+Lives in its own module (rather than the package ``__init__``) so the
+family modules can import it without creating a module-scope import
+cycle with ``repro.analyze.rules`` — the checker's own LAY003 rule
+scans this package too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analyze.contracts import CheckConfig
+from repro.analyze.findings import Finding
+from repro.analyze.project import Project
+
+
+class Rule:
+    """One named invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes:
+        rule_id: stable id (``LAY001``); findings and suppressions key on it.
+        family: family prefix (``LAY``).
+        summary: one-line description for ``repro check --list-rules``.
+        contract: where the enforced contract is documented.
+    """
+
+    rule_id: str = ""
+    family: str = ""
+    summary: str = ""
+    contract: str = ""
+
+    def check(self, project: Project, config: CheckConfig) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module, line: int, message: str) -> Finding:
+        return Finding(rule=self.rule_id, path=module.rel, line=line, message=message)
+
+
+#: rule id -> rule instance, in registration (= documentation) order.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = cls()
+    if not rule.rule_id or rule.rule_id in RULES:
+        raise ValueError(f"rule id {rule.rule_id!r} is empty or already registered")
+    RULES[rule.rule_id] = rule
+    return cls
+
+
+def rule_ids() -> list[str]:
+    return list(RULES)
+
+
+def families() -> list[str]:
+    seen: dict[str, None] = {}
+    for rule in RULES.values():
+        seen.setdefault(rule.family)
+    return list(seen)
+
+
+def select_rules(names: Iterable[str] | None) -> list[Rule]:
+    """Resolve ``--rules`` selectors (rule ids or family prefixes) to rules.
+
+    Raises ``KeyError`` with the unknown selector as ``args[0]`` so the CLI
+    can attach a did-you-mean suggestion.
+    """
+    if not names:
+        return list(RULES.values())
+    selected: dict[str, Rule] = {}
+    for name in names:
+        token = name.strip().upper()
+        if token in RULES:
+            selected.setdefault(token, RULES[token])
+            continue
+        members = [rule for rule in RULES.values() if rule.family == token]
+        if not members:
+            raise KeyError(token)
+        for rule in members:
+            selected.setdefault(rule.rule_id, rule)
+    return list(selected.values())

@@ -1,0 +1,238 @@
+"""DET: determinism — no clocks, entropy or environment in keyed paths.
+
+Results in this repo are functions of ``(request, code version)`` and of
+nothing else: the serial == parallel == memo == disk byte-identity
+contract and every cache key depend on it.  A wall-clock read, an
+unseeded RNG draw or an environment read inside an engine silently breaks
+that — the run still "works", but two identical requests stop producing
+identical bytes.
+
+* ``DET001`` — wall-clock reads (``time.time``/``perf_counter``/
+  ``datetime.now``/...) in determinism-scoped layers.  Deliberate
+  wall-time *metadata* (suite timing, ledger seconds) carries inline
+  ``# repro: allow(DET001) reason`` suppressions.
+* ``DET002`` — entropy: ``os.urandom``, ``uuid.uuid4``, ``secrets.*``,
+  stdlib ``random`` module-level functions, legacy ``numpy.random.*``
+  module calls, and ``default_rng()``/``Random()``/``RandomState()``
+  constructed **without a seed**.
+* ``DET003`` — environment reads (``os.environ``, ``os.getenv``):
+  behaviour must come from the request/config, not ambient process state.
+
+``obs``, ``bench`` and ``analyze`` are allowlisted *by layer* (they
+measure, they never feed results or keys), not by comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze.contracts import CheckConfig
+from repro.analyze.findings import Finding
+from repro.analyze.project import ModuleInfo, Project
+from repro.analyze.rules.base import Rule, register
+
+#: Wall-clock reads.  (``time.sleep`` is not a read; ``strftime`` needs a
+#: time argument to be nondeterministic and is caught via these sources.)
+CLOCK_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+#: Unconditionally nondeterministic calls.
+ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom", "uuid.uuid1", "uuid.uuid4",
+        "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+        "secrets.randbits", "secrets.randbelow", "secrets.choice",
+    }
+)
+
+#: Module-level stdlib ``random`` functions (draw from the hidden global
+#: generator — unseedable per-call, order-dependent across the process).
+RANDOM_MODULE_CALLS = frozenset(
+    f"random.{name}"
+    for name in (
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "betavariate", "expovariate",
+        "seed", "getrandbits", "normalvariate", "triangular",
+    )
+)
+
+#: Legacy ``numpy.random`` module-level functions (global state again).
+NUMPY_RANDOM_MODULE_CALLS = frozenset(
+    f"numpy.random.{name}"
+    for name in (
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "shuffle", "permutation", "seed", "uniform",
+        "normal", "standard_normal", "poisson", "binomial", "exponential",
+        "bytes", "get_state", "set_state",
+    )
+)
+
+#: Constructors that are fine *seeded* and nondeterministic unseeded.
+SEEDED_CONSTRUCTORS = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState", "random.Random"}
+)
+
+
+def build_alias_map(module: ModuleInfo) -> dict[str, str]:
+    """name-in-module -> canonical dotted prefix, from import statements.
+
+    ``import numpy as np``          -> {"np": "numpy"}
+    ``from time import perf_counter`` -> {"perf_counter": "time.perf_counter"}
+    ``from numpy import random as npr`` -> {"npr": "numpy.random"}
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[bound] = canonical
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def canonical_call_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """The canonical dotted name of a call target, or None when dynamic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    head = aliases.get(parts[0], parts[0])
+    return ".".join([head, *parts[1:]])
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """True when a seedable constructor is called with no usable seed."""
+    if not call.args and not call.keywords:
+        return True
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for keyword in call.keywords:
+        if keyword.arg in ("seed", "x") or keyword.arg is None:
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is None
+    return True
+
+
+class _ScopedRule(Rule):
+    """Shared iteration: canonical call names in determinism-scoped modules."""
+
+    def scoped_modules(self, project: Project, config: CheckConfig):
+        for module in project.modules:
+            if module.layer in config.determinism_scope:
+                yield module
+
+    def calls(self, module: ModuleInfo):
+        aliases = build_alias_map(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = canonical_call_name(node.func, aliases)
+                if name is not None:
+                    yield node, name
+
+
+@register
+class NoWallClock(_ScopedRule):
+    rule_id = "DET001"
+    family = "DET"
+    summary = "no wall-clock reads in engine/cache-key code paths"
+    contract = "docs/architecture.md byte-identity contracts (PR 4, PR 6)"
+
+    def check(self, project: Project, config: CheckConfig) -> Iterator[Finding]:
+        for module in self.scoped_modules(project, config):
+            for call, name in self.calls(module):
+                if name in CLOCK_CALLS:
+                    yield self.finding(
+                        module,
+                        call.lineno,
+                        f"wall-clock read {name}() in determinism-scoped layer "
+                        f"'{module.layer}'; results must be functions of the "
+                        f"request alone (wall-time metadata needs an inline "
+                        f"'# repro: allow(DET001) reason')",
+                    )
+
+
+@register
+class NoAmbientEntropy(_ScopedRule):
+    rule_id = "DET002"
+    family = "DET"
+    summary = "no unseeded RNG or ambient entropy in engine code paths"
+    contract = "docs/architecture.md 'RNG-sequence preservation' (PR 6)"
+
+    def check(self, project: Project, config: CheckConfig) -> Iterator[Finding]:
+        for module in self.scoped_modules(project, config):
+            for call, name in self.calls(module):
+                if name in ENTROPY_CALLS:
+                    yield self.finding(
+                        module,
+                        call.lineno,
+                        f"ambient entropy source {name}() in layer "
+                        f"'{module.layer}'; draw from a seeded generator "
+                        f"instead",
+                    )
+                elif name in RANDOM_MODULE_CALLS or name in NUMPY_RANDOM_MODULE_CALLS:
+                    yield self.finding(
+                        module,
+                        call.lineno,
+                        f"global-state RNG call {name}() in layer "
+                        f"'{module.layer}'; use a seeded "
+                        f"numpy.random.Generator (default_rng(seed)) so the "
+                        f"draw sequence is part of the cache identity",
+                    )
+                elif name in SEEDED_CONSTRUCTORS and _is_unseeded(call):
+                    yield self.finding(
+                        module,
+                        call.lineno,
+                        f"{name}() constructed without a seed in layer "
+                        f"'{module.layer}'; an OS-entropy seed poisons "
+                        f"reproducibility and cache identity",
+                    )
+
+
+@register
+class NoEnvironmentReads(_ScopedRule):
+    rule_id = "DET003"
+    family = "DET"
+    summary = "no environment reads in engine/cache-key code paths"
+    contract = "docs/architecture.md 'The request is the cache key' (PR 4)"
+
+    def check(self, project: Project, config: CheckConfig) -> Iterator[Finding]:
+        for module in self.scoped_modules(project, config):
+            aliases = build_alias_map(module)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    name = canonical_call_name(node.func, aliases)
+                    if name == "os.getenv":
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"environment read os.getenv() in layer "
+                            f"'{module.layer}'; behaviour must come from the "
+                            f"request/config, not ambient process state",
+                        )
+                elif isinstance(node, ast.Attribute):
+                    name = canonical_call_name(node, aliases)
+                    if name == "os.environ":
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"environment read os.environ in layer "
+                            f"'{module.layer}'; behaviour must come from the "
+                            f"request/config, not ambient process state",
+                        )

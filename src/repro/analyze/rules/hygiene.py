@@ -1,0 +1,99 @@
+"""EXC: exception hygiene — failures must be captured, never vanished.
+
+The orchestration layers deliberately catch broad exceptions — but every
+such site *captures* the failure (a traceback in the outcome, a ledger
+line, a re-raise).  What the contracts forbid is the silent variant: a
+bare ``except:`` (which also eats ``KeyboardInterrupt``/``SystemExit``)
+or a broad handler whose body is only ``pass``, which turns a poisoned
+result into a green run.
+
+* ``EXC001`` — no bare ``except:`` anywhere in scoped layers.
+* ``EXC002`` — no ``except Exception:``/``except BaseException:`` whose
+  body is only ``pass``/``...``/``continue`` in scoped layers.
+
+The ``obs`` layer's deliberate never-raise paths (telemetry must not
+break a run) are allowlisted by layer; they catch *specific* exceptions
+and log, but the layer owning that policy keeps the rule honest
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze.contracts import CheckConfig
+from repro.analyze.findings import Finding
+from repro.analyze.project import Project
+from repro.analyze.rules.base import Rule, register
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD
+    return False
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass) or isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # a docstring/ellipsis is not handling
+        return False
+    return True
+
+
+@register
+class NoBareExcept(Rule):
+    rule_id = "EXC001"
+    family = "EXC"
+    summary = "no bare 'except:' (it eats KeyboardInterrupt/SystemExit)"
+    contract = "docs/architecture.md failure capture (PR 1 suite, PR 8 ledger)"
+
+    def check(self, project: Project, config: CheckConfig) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.layer not in config.hygiene_scope:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ExceptHandler) and node.type is None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        "bare 'except:'; catch a named exception (broad "
+                        "catches must capture the traceback into the outcome)",
+                    )
+
+
+@register
+class NoSilentSwallow(Rule):
+    rule_id = "EXC002"
+    family = "EXC"
+    summary = "no silently-swallowed broad exceptions in engine layers"
+    contract = "docs/architecture.md failure capture (PR 1 suite, PR 8 ledger)"
+
+    def check(self, project: Project, config: CheckConfig) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.layer not in config.hygiene_scope:
+                continue
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.ExceptHandler)
+                    and _is_broad(node)
+                    and node.type is not None  # bare is EXC001's finding
+                    and _is_silent(node)
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        "broad exception silently swallowed ('except "
+                        "Exception: pass'); capture the failure into the "
+                        "outcome or narrow the exception type",
+                    )

@@ -1,0 +1,219 @@
+"""KEY: cache identity — the request *is* the cache key, completely.
+
+PR 4 made ``SimRequest.canonical_json()`` the universal cache identity:
+every field of the frozen request dataclasses must reach ``to_dict()``
+(which ``canonical_json`` serialises), or two requests that differ in the
+missing field would silently share a cache entry.  And because the frozen
+dataclasses canonicalise themselves in ``__post_init__``, any
+``object.__setattr__`` *outside* construction would mutate an object
+whose cache key has already been taken.
+
+* ``KEY001`` — every field of a frozen dataclass that defines ``to_dict``
+  must be reachable from it (named as a key or read as ``self.<field>``).
+* ``KEY002`` — ``object.__setattr__`` on frozen instances only during
+  ``__post_init__`` (or helpers it calls), and only on ``self``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze.contracts import CheckConfig
+from repro.analyze.findings import Finding
+from repro.analyze.project import ModuleInfo, Project
+from repro.analyze.rules.base import Rule, register
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_frozen_dataclass(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        if _decorator_name(decorator) not in ("dataclass", "dataclasses.dataclass"):
+            continue
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return True
+    return False
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> list[tuple[str, int]]:
+    """(field name, line) for every annotated public field of the class."""
+    fields: list[tuple[str, int]] = []
+    for node in cls.body:
+        if not isinstance(node, ast.AnnAssign) or not isinstance(node.target, ast.Name):
+            continue
+        name = node.target.id
+        if name.startswith("_"):
+            continue
+        annotation = ast.dump(node.annotation)
+        if "ClassVar" in annotation or "InitVar" in annotation:
+            continue
+        fields.append((name, node.lineno))
+    return fields
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _names_reached(func: ast.FunctionDef) -> set[str]:
+    """String constants and ``self.<attr>`` reads inside a method body —
+    the two ways a field can reach the serialised form."""
+    reached: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            reached.add(node.value)
+        elif (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            reached.add(node.attr)
+    return reached
+
+
+@register
+class FieldsReachCanonicalForm(Rule):
+    rule_id = "KEY001"
+    family = "KEY"
+    summary = "every frozen-dataclass field must reach to_dict()/canonical_json()"
+    contract = "docs/architecture.md 'The request is the cache key' (PR 4)"
+
+    def check(self, project: Project, config: CheckConfig) -> Iterator[Finding]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef) or not _is_frozen_dataclass(node):
+                    continue
+                methods = _methods(node)
+                to_dict = methods.get("to_dict")
+                if to_dict is None:
+                    continue
+                reached = _names_reached(to_dict)
+                # Helpers to_dict calls on self can serialise fields too.
+                for name, method in methods.items():
+                    if name != "to_dict" and name in reached:
+                        reached |= _names_reached(method)
+                for field_name, line in _dataclass_fields(node):
+                    if field_name not in reached:
+                        yield self.finding(
+                            module,
+                            line,
+                            f"field '{field_name}' of frozen dataclass "
+                            f"'{node.name}' never reaches to_dict(); two "
+                            f"instances differing only in '{field_name}' "
+                            f"would share a cache identity",
+                        )
+
+
+@register
+class FrozenMutationOnlyInPostInit(Rule):
+    rule_id = "KEY002"
+    family = "KEY"
+    summary = "object.__setattr__ only inside __post_init__ canonicalisation"
+    contract = "docs/architecture.md request canonicalisation (PR 4, PR 5)"
+
+    def check(self, project: Project, config: CheckConfig) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        # Classes: __post_init__ and the helpers reachable from it may
+        # canonicalise self; everything else is a post-construction mutation.
+        covered: set[int] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _methods(node)
+            allowed = self._reachable_from_post_init(methods)
+            for name, method in methods.items():
+                for call in self._setattr_calls(method):
+                    covered.add(id(call))
+                    if name not in allowed:
+                        yield self.finding(
+                            module,
+                            call.lineno,
+                            f"object.__setattr__ in {node.name}.{name}(); "
+                            f"frozen instances may only be written during "
+                            f"__post_init__ canonicalisation — afterwards "
+                            f"their cache identity is already taken",
+                        )
+                    elif not self._targets_self(call):
+                        yield self.finding(
+                            module,
+                            call.lineno,
+                            f"object.__setattr__ on a non-self target in "
+                            f"{node.name}.{name}(); __post_init__ may only "
+                            f"canonicalise the instance under construction",
+                        )
+        # Free functions (and anything else outside a class body).
+        for call in self._setattr_calls(module.tree):
+            if id(call) not in covered:
+                yield self.finding(
+                    module,
+                    call.lineno,
+                    "object.__setattr__ outside any class; frozen instances "
+                    "may only be written during __post_init__",
+                )
+
+    @staticmethod
+    def _setattr_calls(root: ast.AST) -> list[ast.Call]:
+        calls = []
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "__setattr__"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "object"
+            ):
+                calls.append(node)
+        return calls
+
+    @staticmethod
+    def _targets_self(call: ast.Call) -> bool:
+        return (
+            bool(call.args)
+            and isinstance(call.args[0], ast.Name)
+            and call.args[0].id == "self"
+        )
+
+    @staticmethod
+    def _reachable_from_post_init(methods: dict[str, ast.FunctionDef]) -> set[str]:
+        if "__post_init__" not in methods:
+            return set()
+        reachable = {"__post_init__"}
+        frontier = ["__post_init__"]
+        while frontier:
+            current = methods[frontier.pop()]
+            for node in ast.walk(current):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                    and node.func.attr in methods
+                    and node.func.attr not in reachable
+                ):
+                    reachable.add(node.func.attr)
+                    frontier.append(node.func.attr)
+        return reachable

@@ -1,0 +1,70 @@
+"""Inline suppressions: ``# repro: allow(RULE-ID) reason``.
+
+A suppression is a source comment that grandfathers one line against one
+or more named rules.  The syntax is deliberately strict:
+
+* ``# repro: allow(DET001) wall-clock metadata, never keyed`` — allows
+  ``DET001`` findings on that line.
+* ``# repro: allow(DET001, EXC002) reason`` — several rules at once.
+* The **reason is mandatory**: a suppression without one is inactive (the
+  finding still fires), so every grandfathered line in the tree documents
+  *why* it is exempt.  ``repro check`` reports reasonless suppressions so
+  they cannot silently rot.
+
+Placement: a trailing comment suppresses its own line; a comment-only
+line suppresses the next source line (for statements too long to carry a
+trailing comment).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: ``# repro: allow(ID[, ID...]) reason`` — the reason group must be
+#: non-empty for the suppression to take effect.
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)\s*\)"
+    r"(?P<reason>.*)$"
+)
+
+#: A line that is *only* a suppression comment (optionally indented).
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression table: line number -> allowed rule ids."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: (line, raw comment) pairs whose reason was empty — reported, not honoured.
+    missing_reason: list[tuple[int, str]] = field(default_factory=list)
+
+    def allows(self, line: int, rule: str) -> bool:
+        rules = self.by_line.get(line)
+        return rules is not None and (rule in rules or "*" in rules)
+
+
+def parse_suppressions(lines: list[str]) -> Suppressions:
+    """Scan source lines for ``# repro: allow(...)`` comments.
+
+    ``lines`` is the file split by newline; line numbers are 1-based, to
+    match ``ast`` locations.
+    """
+    table = Suppressions()
+    for index, text in enumerate(lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        reason = match.group("reason").strip()
+        target = index
+        if _COMMENT_ONLY_RE.match(text):
+            # A comment-only line shields the next line, where the
+            # flagged statement actually lives.
+            target = index + 1
+        if not reason:
+            table.missing_reason.append((index, text.strip()))
+            continue
+        rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+        table.by_line.setdefault(target, set()).update(rules)
+    return table

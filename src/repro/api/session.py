@@ -94,9 +94,9 @@ def _execute_request(request_dict: dict, telemetry: bool = False) -> dict:
     """
     request = SimRequest.from_dict(request_dict)
     if not telemetry:
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow(DET001) wall-time metadata, excluded from byte-identity
         result = get_backend(request.backend).run(request, session=None)
-        result.seconds = time.perf_counter() - start
+        result.seconds = time.perf_counter() - start  # repro: allow(DET001) wall-time metadata, excluded from byte-identity
         return _normalise(result.to_dict())
     # Start from a clean slate: a forked worker inherits the parent's (or a
     # previous task's) tracer state, which must not leak into this task.
@@ -106,9 +106,9 @@ def _execute_request(request_dict: dict, telemetry: bool = False) -> dict:
         with trace.span(
             "session.execute", backend=request.backend, dataset=request.dataset
         ):
-            start = time.perf_counter()
+            start = time.perf_counter()  # repro: allow(DET001) wall-time metadata, excluded from byte-identity
             result = get_backend(request.backend).run(request, session=None)
-            result.seconds = time.perf_counter() - start
+            result.seconds = time.perf_counter() - start  # repro: allow(DET001) wall-time metadata, excluded from byte-identity
         metrics.observe("session.execute_seconds", result.seconds)
     payload = _normalise(result.to_dict())
     payload[TELEMETRY_KEY] = {"spans": spans, "metrics": task_metrics}
@@ -273,9 +273,9 @@ class Session:
         with trace.span(
             "session.execute", backend=request.backend, dataset=request.dataset
         ):
-            start = time.perf_counter()
+            start = time.perf_counter()  # repro: allow(DET001) wall-time metadata, excluded from byte-identity
             result = get_backend(request.backend).run(request, session=self)
-            result.seconds = time.perf_counter() - start
+            result.seconds = time.perf_counter() - start  # repro: allow(DET001) wall-time metadata, excluded from byte-identity
         metrics.observe("session.execute_seconds", result.seconds)
         return _normalise(result.to_dict())
 

@@ -151,13 +151,13 @@ class GrowPreprocessor:
         adjacency = graph.adjacency()
         if not partitioned:
             return self.plan_without_partitioning(adjacency)
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow(DET001) wall-time metadata, excluded from byte-identity
         clusters_wanted = self.num_clusters
         if clusters_wanted is None:
             clusters_wanted = max(1, graph.num_nodes // self.target_cluster_nodes)
         if clusters_wanted <= 1:
             plan = self.plan_without_partitioning(adjacency)
-            plan.preprocessing_seconds = time.perf_counter() - started
+            plan.preprocessing_seconds = time.perf_counter() - started  # repro: allow(DET001) wall-time metadata, excluded from byte-identity
             return plan
         with trace.span(
             "preprocess.partition",
@@ -169,7 +169,7 @@ class GrowPreprocessor:
                 graph, clusters_wanted, method=self.partition_method, seed=self.seed
             )
         plan = self.plan_from_partition(adjacency, partition)
-        plan.preprocessing_seconds = time.perf_counter() - started
+        plan.preprocessing_seconds = time.perf_counter() - started  # repro: allow(DET001) wall-time metadata, excluded from byte-identity
         return plan
 
     def plan_from_partition(
