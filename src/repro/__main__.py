@@ -27,8 +27,11 @@ Commands:
   regressions beyond the allowed factor.
 * ``check``                      — run the static-analysis invariant
   checker (``repro.analyze``) over the source tree: layering,
-  determinism, cache-identity, pool-safety and exception-hygiene rules
-  (``--json``, ``--rules``, baseline support; exits 1 on new findings).
+  determinism, cache-identity, pool-safety, exception-hygiene,
+  worker-purity and vectorization-contract rules, the latter two
+  whole-program over the pool call graph (``--json``, ``--sarif``,
+  ``--changed``, ``--rules``, baseline support; exits 1 on new
+  findings, 2 on parse/usage errors).
 * ``trace <file>``               — summarise a trace written by ``--trace``:
   top spans, phase breakdown, cache hit rates.
 * ``stats``                      — query the persistent run ledger
@@ -293,7 +296,8 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "check",
         help="run the static-analysis invariant checker (layering, "
-        "determinism, cache identity, pools, exception hygiene)",
+        "determinism, cache identity, pools, exception hygiene, "
+        "worker purity, vectorization contract)",
         add_help=False,
     )
 

@@ -38,13 +38,25 @@ from repro.analyze.findings import Finding
 from repro.analyze.project import Project, ProjectError
 from repro.analyze.rules import RULES, Rule, families, rule_ids, select_rules
 
+# After the rule families: callgraph shares alias-resolution helpers with
+# rules.determinism, so the rules package must finish importing first
+# (rules.concurrency imports callgraph).
+from repro.analyze.callgraph import (  # noqa: E402
+    CallGraph,
+    FunctionInfo,
+    graph_for,
+    pool_entry_points,
+)
+
 __all__ = [
     "BASELINE_SCHEMA",
     "BaselineError",
+    "CallGraph",
     "CheckConfig",
     "CheckReport",
     "DEFAULT_CONFIG",
     "Finding",
+    "FunctionInfo",
     "Project",
     "ProjectError",
     "REPORT_SCHEMA",
@@ -53,7 +65,9 @@ __all__ = [
     "apply_suppressions",
     "default_baseline_path",
     "families",
+    "graph_for",
     "load_baseline",
+    "pool_entry_points",
     "rule_ids",
     "run_check",
     "run_rules",

@@ -1,0 +1,135 @@
+"""Incremental checking: ``repro check --changed [REF]``.
+
+A whole-tree check is cheap enough for CI but noisy in an edit loop: the
+author of a one-module change wants the findings *their* change can have
+introduced, not a restatement of the tree.  ``--changed`` scopes the
+report to
+
+* every scanned module whose file differs from ``REF`` (``git diff``)
+  or is untracked (``git ls-files --others``), plus
+* the **reverse-import closure** of those modules — everything that
+  imports them, transitively, at any scope.  A signature change in
+  ``graph/stats.py`` can break an invariant in any importer, so the
+  importers are re-checked too; modules with no path to the change
+  cannot have new findings and are filtered out.
+
+The whole tree is still *parsed* (whole-program rules need the full call
+graph — a changed module can make previously clean worker-reachable code
+dirty), only the reported findings are scoped.  Parse errors anywhere
+still fail the run: an unparseable module silently truncates the
+closure.
+
+Git interaction is deliberately thin: two read-only subprocess calls.
+Anything unexpected — not a git checkout, unknown ``REF`` — raises
+:class:`ChangedError`, which the CLI turns into exit code 2 (usage
+error), never a silently-empty scope.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analyze.project import Project
+
+
+class ChangedError(Exception):
+    """``--changed`` could not determine the change set (not a git
+    checkout, unknown ref, git unavailable)."""
+
+
+@dataclass
+class ChangedScope:
+    """The resolved ``--changed`` scope.
+
+    Attributes:
+        ref: the git ref the tree was diffed against.
+        changed: rel paths (``repro/...``-style, as findings carry) of
+            scanned modules whose files differ from ``ref``.
+        scope: ``changed`` closed over reverse imports — the rel paths
+            findings are reported for.
+    """
+
+    ref: str
+    changed: set[str] = field(default_factory=set)
+    scope: set[str] = field(default_factory=set)
+
+    def to_dict(self) -> dict:
+        return {
+            "ref": self.ref,
+            "changed": sorted(self.changed),
+            "scope": sorted(self.scope),
+        }
+
+
+def _git_lines(args: list[str], cwd: Path) -> list[str]:
+    try:
+        completed = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=False,
+            timeout=60,
+        )
+    except (OSError, subprocess.TimeoutExpired) as error:
+        raise ChangedError(f"git {' '.join(args)} failed: {error}") from error
+    if completed.returncode != 0:
+        detail = completed.stderr.strip() or f"exit {completed.returncode}"
+        raise ChangedError(f"git {' '.join(args)} failed: {detail}")
+    return [line for line in completed.stdout.splitlines() if line.strip()]
+
+
+def changed_files(root: Path, ref: str) -> set[Path]:
+    """Absolute paths of files that differ from ``ref`` (tracked diffs
+    plus untracked files), limited to the scan root."""
+    root = Path(root).resolve()
+    toplevel_lines = _git_lines(["rev-parse", "--show-toplevel"], cwd=root)
+    if not toplevel_lines:
+        raise ChangedError(f"{root} is not inside a git checkout")
+    toplevel = Path(toplevel_lines[0])
+    # diff prints paths relative to the toplevel; ls-files prints them
+    # relative to the working directory it runs in.
+    tracked = _git_lines(["diff", "--name-only", ref, "--", str(root)], cwd=root)
+    untracked = _git_lines(
+        ["ls-files", "--others", "--exclude-standard", "--", str(root)], cwd=root
+    )
+    return {(toplevel / line).resolve() for line in tracked} | {
+        (root / line).resolve() for line in untracked
+    }
+
+
+def reverse_closure(project: Project, changed_names: set[str]) -> set[str]:
+    """``changed_names`` (dotted module names) plus every scanned module
+    that transitively imports one of them, at any scope."""
+    importers: dict[str, set[str]] = {}
+    for module, edge in project.internal_edges(module_scope_only=False):
+        if edge.resolved is not None:
+            importers.setdefault(edge.resolved, set()).add(module.name)
+    closure = set(changed_names)
+    frontier = list(changed_names)
+    while frontier:
+        current = frontier.pop()
+        for importer in importers.get(current, ()):
+            if importer not in closure:
+                closure.add(importer)
+                frontier.append(importer)
+    return closure
+
+
+def changed_scope(project: Project, ref: str) -> ChangedScope:
+    """The :class:`ChangedScope` for ``project`` against git ref ``ref``."""
+    files = changed_files(project.root, ref)
+    by_path = {module.path.resolve(): module for module in project.modules}
+    changed_modules = [by_path[path] for path in files if path in by_path]
+    closure = reverse_closure(
+        project, {module.name for module in changed_modules}
+    )
+    return ChangedScope(
+        ref=ref,
+        changed={module.rel for module in changed_modules},
+        scope={
+            module.rel for module in project.modules if module.name in closure
+        },
+    )

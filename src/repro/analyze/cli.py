@@ -8,7 +8,11 @@ root is derived from this file's location rather than by importing the
 
 Exit codes: ``0`` clean (new findings absent; baselined/suppressed ones
 are reported but do not fail), ``1`` new findings, ``2`` usage or
-configuration errors (bad root, unknown rule, broken baseline).
+configuration errors (bad root, unknown rule, broken baseline, a git
+failure under ``--changed``) *and* parse errors — a file the checker
+cannot parse silently truncates the whole-program analysis, so it is a
+configuration failure, not a finding; every parseable module is still
+checked and reported first.
 """
 
 from __future__ import annotations
@@ -25,9 +29,11 @@ from repro.analyze.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.analyze.changed import ChangedError
 from repro.analyze.engine import run_check
 from repro.analyze.findings import Finding
 from repro.analyze.project import Project, ProjectError
+from repro.analyze.sarif import write_sarif
 from repro.analyze.rules import RULES, families, rule_ids, select_rules
 
 
@@ -95,6 +101,24 @@ def build_parser() -> argparse.ArgumentParser:
         "before the baseline will load again)",
     )
     parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="scope the report to modules that differ from git REF "
+        "(default HEAD) plus everything that transitively imports them; "
+        "the whole tree is still parsed so whole-program rules stay exact",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the report as SARIF 2.1.0 (for code-scanning "
+        "uploads); combinable with --json",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the check report as JSON (schema-versioned, like "
@@ -124,6 +148,12 @@ def _print_human(report, baseline_path: Path | None) -> None:
     if report.parse_errors:
         for error in report.parse_errors:
             print(f"parse error: {error}", file=sys.stderr)
+    if report.scope is not None:
+        print(
+            f"scope (--changed {report.scope['ref']}): "
+            f"{len(report.scope['changed'])} changed module(s), "
+            f"{len(report.scope['scope'])} in the reverse-import closure"
+        )
     counts = (
         f"{len(report.findings)} new finding(s), "
         f"{len(report.baselined)} baselined, "
@@ -186,18 +216,26 @@ def main(argv: list[str] | None = None) -> int:
         return _update_baseline(root, selectors, baseline_path)
 
     try:
-        report = run_check(root, rule_names=selectors, baseline_path=baseline_path)
-    except ProjectError as error:
-        print(str(error), file=sys.stderr)
-        return 2
-    except BaselineError as error:
+        report = run_check(
+            root,
+            rule_names=selectors,
+            baseline_path=baseline_path,
+            changed_ref=args.changed,
+        )
+    except (ProjectError, BaselineError, ChangedError) as error:
         print(str(error), file=sys.stderr)
         return 2
 
+    if args.sarif is not None:
+        write_sarif(args.sarif, report, select_rules(selectors))
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         _print_human(report, baseline_path)
+    if report.parse_errors:
+        # A file the checker cannot parse truncates the whole-program
+        # analysis: configuration failure, not a finding.
+        return 2
     return 0 if report.ok else 1
 
 

@@ -49,6 +49,15 @@ ENGINE_LAYERS = frozenset(
 ORCHESTRATION_LAYERS = frozenset({"harness", "dse", "scaleout", "bench"})
 
 
+#: Request-dataclass fields documented as *canonicalised away*: fields a
+#: backend may read even though ``canonical_json()`` deliberately omits
+#: them (none today — every ``SimRequest`` field is part of the cache
+#: identity).  Adding a name here is a documented decision that two
+#: requests differing only in that field *should* share a cache entry;
+#: KEY003 holds backends to exactly this list.
+CACHE_KEY_EXEMPT_FIELDS: frozenset[str] = frozenset()
+
+
 @dataclass(frozen=True)
 class CheckConfig:
     """Everything rule implementations parameterise over.
@@ -69,6 +78,12 @@ class CheckConfig:
         orchestration_layers: the forbidden-at-any-scope target layers.
         hygiene_scope: layers where silent exception swallowing is flagged
             (bare ``except:`` is flagged everywhere).
+        request_param: the parameter name that carries the request through
+            backend code paths; KEY003 tracks ``<request_param>.<field>``
+            reads in a backend's reachable set.
+        cache_key_exempt_fields: request fields documented as canonicalised
+            away — readable by backends without appearing in
+            ``canonical_json()`` (see :data:`CACHE_KEY_EXEMPT_FIELDS`).
     """
 
     layer_deps: dict[str, frozenset[str]] = field(default_factory=dict)
@@ -78,6 +93,8 @@ class CheckConfig:
     engine_layers: frozenset[str] = ENGINE_LAYERS
     orchestration_layers: frozenset[str] = ORCHESTRATION_LAYERS
     hygiene_scope: frozenset[str] = DETERMINISM_SCOPE
+    request_param: str = "request"
+    cache_key_exempt_fields: frozenset[str] = CACHE_KEY_EXEMPT_FIELDS
 
 
 def _deps(*layers: str) -> frozenset[str]:

@@ -16,12 +16,14 @@ from pathlib import Path
 from typing import Any
 
 from repro.analyze.baseline import load_baseline, split_by_baseline
+from repro.analyze.changed import changed_scope
 from repro.analyze.contracts import DEFAULT_CONFIG, CheckConfig
 from repro.analyze.findings import Finding
 from repro.analyze.project import Project
 from repro.analyze.rules import Rule, select_rules
 
-REPORT_SCHEMA = 1
+#: 2: added the ``scope`` key (``--changed`` runs; ``None`` otherwise).
+REPORT_SCHEMA = 2
 
 
 @dataclass
@@ -41,6 +43,9 @@ class CheckReport:
     stale_baseline: list[dict[str, Any]] = field(default_factory=list)
     reasonless_suppressions: list[dict[str, Any]] = field(default_factory=list)
     parse_errors: list[str] = field(default_factory=list)
+    #: ``--changed`` scope (``ChangedScope.to_dict()``); ``None`` for
+    #: whole-tree runs.
+    scope: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -59,6 +64,7 @@ class CheckReport:
             "stale_baseline": list(self.stale_baseline),
             "reasonless_suppressions": list(self.reasonless_suppressions),
             "parse_errors": list(self.parse_errors),
+            "scope": dict(self.scope) if self.scope is not None else None,
         }
 
 
@@ -95,18 +101,30 @@ def run_check(
     rule_names: list[str] | None = None,
     baseline_path: Path | None = None,
     config: CheckConfig = DEFAULT_CONFIG,
+    changed_ref: str | None = None,
 ) -> CheckReport:
     """Run the invariant checker over ``root``.
 
-    Raises :class:`~repro.analyze.project.ProjectError` for unusable roots
-    and :class:`~repro.analyze.baseline.BaselineError` for broken
-    baselines — the CLI turns both into actionable messages.  Unknown
-    rule selectors raise ``KeyError`` (see
+    With ``changed_ref`` the whole tree is still parsed (the
+    whole-program rules need the full call graph) but the reported
+    findings are scoped to the modules that differ from the git ref plus
+    their reverse-import closure — see :mod:`repro.analyze.changed`.
+
+    Raises :class:`~repro.analyze.project.ProjectError` for unusable
+    roots, :class:`~repro.analyze.baseline.BaselineError` for broken
+    baselines and :class:`~repro.analyze.changed.ChangedError` when the
+    change set cannot be determined — the CLI turns all three into
+    actionable messages.  Unknown rule selectors raise ``KeyError`` (see
     :func:`repro.analyze.rules.select_rules`).
     """
     project = Project.load(Path(root))
     rules = select_rules(rule_names)
+    scope = None
+    if changed_ref is not None:
+        scope = changed_scope(project, changed_ref)
     raw = run_rules(project, rules, config)
+    if scope is not None:
+        raw = [finding for finding in raw if finding.path in scope.scope]
     kept, suppressed = apply_suppressions(project, raw)
 
     baseline_entries: list[dict[str, Any]] = []
@@ -118,6 +136,7 @@ def run_check(
         {"path": module.rel, "line": line, "comment": comment}
         for module in project.modules
         for line, comment in module.suppressions.missing_reason
+        if scope is None or module.rel in scope.scope
     ]
     return CheckReport(
         root=str(project.root),
@@ -129,4 +148,5 @@ def run_check(
         stale_baseline=stale,
         reasonless_suppressions=reasonless,
         parse_errors=list(project.parse_errors),
+        scope=scope.to_dict() if scope is not None else None,
     )

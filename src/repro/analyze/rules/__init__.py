@@ -1,4 +1,4 @@
-"""The rule engine: rule protocol, registry, and the five families.
+"""The rule engine: rule protocol, registry, and the seven families.
 
 A rule is a named check over a parsed :class:`~repro.analyze.project.Project`
 yielding :class:`~repro.analyze.findings.Finding`s.  Rules register
@@ -19,6 +19,14 @@ Families:
   callables (spawn-start pickling).
 * ``EXC`` — exception hygiene: no bare ``except:``, no silent swallowing
   in engines.
+* ``CONC`` — worker purity (whole-program): code reachable from a pool
+  submission must not write module-level state, reconfigure global
+  telemetry, or read clocks/environment without justification.
+* ``VEC`` — the vectorization contract: stable sorts, no
+  sort-then-reverse, no dtype-narrowing casts on index arrays.
+
+``KEY003`` (in the ``KEY`` family) is whole-program too: request fields
+read in a backend's call-graph closure must reach ``canonical_json()``.
 
 The protocol and registry live in :mod:`repro.analyze.rules.base`; the
 family modules import from there (not from this package) so the
@@ -44,6 +52,10 @@ from repro.analyze.rules import (  # noqa: E402,F401  (registration imports)
     identity,
     layering,
     pools,
+)
+from repro.analyze.rules import (  # noqa: E402,F401  (PR 10 whole-program families)
+    concurrency,
+    vectorize,
 )
 
 __all__ = [

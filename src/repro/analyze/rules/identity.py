@@ -12,6 +12,12 @@ whose cache key has already been taken.
   must be reachable from it (named as a key or read as ``self.<field>``).
 * ``KEY002`` — ``object.__setattr__`` on frozen instances only during
   ``__post_init__`` (or helpers it calls), and only on ``self``.
+* ``KEY003`` — interprocedural completeness: every request field *read*
+  anywhere in a backend's call-graph-reachable code must reach
+  ``canonical_json()`` (or be documented as canonicalised away in
+  :data:`repro.analyze.contracts.CACHE_KEY_EXEMPT_FIELDS`), so a future
+  backend cannot branch on a field that two identically-keyed requests
+  are allowed to differ in.
 """
 
 from __future__ import annotations
@@ -217,3 +223,97 @@ class FrozenMutationOnlyInPostInit(Rule):
                     reachable.add(node.func.attr)
                     frontier.append(node.func.attr)
         return reachable
+
+
+def _request_field_status(project: Project) -> dict[str, list[tuple[str, bool]]]:
+    """``field -> [(class name, reaches to_dict)]`` over every *request
+    class* — a frozen dataclass defining both ``canonical_json`` and
+    ``to_dict`` (``SimRequest`` in this repo)."""
+    status: dict[str, list[tuple[str, bool]]] = {}
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_frozen_dataclass(node):
+                continue
+            methods = _methods(node)
+            if "canonical_json" not in methods or "to_dict" not in methods:
+                continue
+            reached = _names_reached(methods["to_dict"])
+            for name, method in methods.items():
+                if name != "to_dict" and name in reached:
+                    reached |= _names_reached(method)
+            for field_name, _line in _dataclass_fields(node):
+                status.setdefault(field_name, []).append(
+                    (node.name, field_name in reached)
+                )
+    return status
+
+
+@register
+class BackendRequestReadsAreKeyed(Rule):
+    rule_id = "KEY003"
+    family = "KEY"
+    summary = "request fields read in backend code must reach canonical_json()"
+    contract = "docs/architecture.md 'The request is the cache key' (PR 4, PR 10)"
+
+    def check(self, project: Project, config: CheckConfig) -> Iterator[Finding]:
+        from repro.analyze.callgraph import graph_for, short_name
+
+        field_status = _request_field_status(project)
+        if not field_status:
+            return
+        graph = graph_for(project)
+        # Backend classes: non-protocol classes carrying a ``name`` class
+        # attribute and a ``run`` method taking the request parameter —
+        # the structural shape the Backend protocol demands.
+        entries: set[str] = set()
+        for cls_qual, cls in graph.classes.items():
+            if cls.is_protocol:
+                continue
+            if "name" not in graph._all_class_attrs(cls_qual):
+                continue
+            for run_qual in graph.method_candidates(cls_qual, "run"):
+                run = graph.functions[run_qual]
+                params = {
+                    arg.arg
+                    for arg in [
+                        *run.node.args.posonlyargs,
+                        *run.node.args.args,
+                        *run.node.args.kwonlyargs,
+                    ]
+                }
+                if config.request_param in params:
+                    entries.add(run_qual)
+        if not entries:
+            return
+        seen: set[tuple] = set()
+        for qual in sorted(graph.reachable(entries)):
+            info = graph.functions[qual]
+            for node in ast.walk(info.node):
+                if not (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == config.request_param
+                ):
+                    continue
+                attr = node.attr
+                if attr not in field_status:
+                    continue  # a method or non-field attribute
+                if attr in config.cache_key_exempt_fields:
+                    continue
+                if any(reached for _cls, reached in field_status[attr]):
+                    continue
+                classes = ", ".join(sorted({cls for cls, _ in field_status[attr]}))
+                finding = self.finding(
+                    info.module,
+                    node.lineno,
+                    f"backend-reachable '{short_name(info)}' reads "
+                    f"request.{attr}, a field of {classes} that never "
+                    f"reaches canonical_json(); two requests differing only "
+                    f"in '{attr}' would share a cache identity (documented "
+                    f"exceptions go in contracts.CACHE_KEY_EXEMPT_FIELDS)",
+                )
+                key = (finding.path, finding.line, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding

@@ -28,6 +28,7 @@ from __future__ import annotations
 import copy
 import json
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
@@ -63,10 +64,10 @@ def clear_memo() -> None:
 
 def _memoise(key: str, payload: dict) -> None:
     """Insert one payload, evicting least-recent entries past :data:`_MEMO_LIMIT`."""
-    _RUN_MEMO.pop(key, None)
+    _RUN_MEMO.pop(key, None)  # repro: allow(CONC001) per-process LRU memo; detached workers rebuild payloads deterministically, never share it back
     while len(_RUN_MEMO) >= _MEMO_LIMIT:
-        _RUN_MEMO.pop(next(iter(_RUN_MEMO)))
-    _RUN_MEMO[key] = payload
+        _RUN_MEMO.pop(next(iter(_RUN_MEMO)))  # repro: allow(CONC001) per-process LRU memo eviction; see above
+    _RUN_MEMO[key] = payload  # repro: allow(CONC001) per-process LRU memo insert; see above
 
 
 def _normalise(payload: dict) -> dict:
@@ -100,8 +101,8 @@ def _execute_request(request_dict: dict, telemetry: bool = False) -> dict:
         return _normalise(result.to_dict())
     # Start from a clean slate: a forked worker inherits the parent's (or a
     # previous task's) tracer state, which must not leak into this task.
-    trace.disable()
-    trace.drain()
+    trace.disable()  # repro: allow(CONC002) clean-slate reset of inherited tracer state before scoped collection; worker-local by design
+    trace.drain()  # repro: allow(CONC002) clean-slate drain of inherited spans; worker-local by design
     with trace.collect() as spans, metrics.scoped() as task_metrics:
         with trace.span(
             "session.execute", backend=request.backend, dataset=request.dataset
@@ -168,7 +169,7 @@ class Session:
         if payload is not None:
             # Refresh recency so a repeatedly-hit entry survives eviction
             # pressure (the memo is LRU, not FIFO).
-            _RUN_MEMO[key] = _RUN_MEMO.pop(key)
+            _RUN_MEMO[key] = _RUN_MEMO.pop(key)  # repro: allow(CONC001) per-process LRU recency refresh; a worker's reorder affects only its own memo
             metrics.inc("session.memo_hits")
         if payload is None and self.cache is not None and self.use_cache:
             entry = self.cache.get(self._entry_name(request), request.experiment_config())
@@ -367,8 +368,8 @@ class Session:
                             phases = None
                             if shipped is not None:
                                 if trace.enabled:
-                                    trace.ingest(shipped.get("spans", ()))
-                                    metrics.merge(shipped.get("metrics"))
+                                    trace.ingest(shipped.get("spans", ()))  # repro: allow(CONC002) parent-only branch: detached workers run jobs=1 sessions, so the pool/ingest path never executes inside a worker
+                                    metrics.merge(shipped.get("metrics"))  # repro: allow(CONC002) parent-only branch; see above
                                 if run_ledger.ledger_enabled():
                                     phases = aggregate_phases(
                                         shipped.get("spans", ())
@@ -387,6 +388,7 @@ class Session:
 
 
 _DEFAULT_SESSION: Session | None = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
 
 
 def get_session() -> Session:
@@ -394,9 +396,13 @@ def get_session() -> Session:
 
     This is what the harness experiments, the sweep evaluators and the DSE
     objective layer run through, so any two of them asking for the same
-    simulation pay for it once per process.
+    simulation pay for it once per process.  Construction is guarded by a
+    double-checked lock so concurrent first calls share one session.
     """
     global _DEFAULT_SESSION
     if _DEFAULT_SESSION is None:
-        _DEFAULT_SESSION = Session(use_cache=False)
+        with _DEFAULT_SESSION_LOCK:
+            if _DEFAULT_SESSION is None:
+                # repro: allow(CONC001) per-process shared session; a worker builds its own and its memo is rebuilt deterministically from requests
+                _DEFAULT_SESSION = Session(use_cache=False)
     return _DEFAULT_SESSION

@@ -37,14 +37,14 @@ class HDNIdList:
             )
         # ``lookup`` binary-searches the list, so keep it sorted even when the
         # ids are injected directly instead of via ``load``.
-        self.node_ids = np.sort(self.node_ids)
+        self.node_ids = np.sort(self.node_ids, kind="stable")
 
     def load(self, node_ids: np.ndarray) -> None:
         """Replace the list contents with a new cluster's HDN ids."""
         # Sorted-unique by sort + adjacent-difference mask: identical to
         # ``np.unique`` (whose output is sorted) without its hash path, and
         # the sorted invariant lets ``lookup`` use binary search.
-        node_ids = np.sort(np.asarray(node_ids, dtype=np.int64))
+        node_ids = np.sort(np.asarray(node_ids, dtype=np.int64), kind="stable")
         if node_ids.size > 1:
             keep = np.empty(node_ids.shape, dtype=bool)
             keep[0] = True

@@ -137,7 +137,7 @@ class Graph:
         permutation = np.asarray(permutation, dtype=np.int64)
         if permutation.size != self.num_nodes:
             raise ValueError("permutation length must equal num_nodes")
-        if np.sort(permutation).tolist() != list(range(self.num_nodes)):
+        if np.sort(permutation, kind="stable").tolist() != list(range(self.num_nodes)):
             raise ValueError("permutation must be a bijection over node ids")
         communities = None
         if self.communities is not None:

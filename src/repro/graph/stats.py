@@ -15,7 +15,10 @@ from repro.graph.graph import Graph
 
 def degree_distribution(graph: Graph) -> np.ndarray:
     """Sorted (descending) degree of every node: the Figure 11 curve."""
-    return np.sort(graph.degrees())[::-1].astype(np.int64)
+    # Negated stable sort, not sort-then-reverse: [::-1] would invert the
+    # order of equal degrees (VEC002).
+    degrees = graph.degrees().astype(np.int64)
+    return -np.sort(-degrees, kind="stable")
 
 
 def degree_stats(graph: Graph) -> dict[str, float]:
@@ -50,13 +53,13 @@ def top_degree_edge_coverage(graph: Graph, k: int) -> float:
     if total == 0:
         return 0.0
     k = min(k, degrees.size)
-    top = np.sort(degrees)[::-1][:k]
+    top = -np.sort(-degrees, kind="stable")[:k]
     return float(top.sum()) / float(total)
 
 
 def gini_coefficient(graph: Graph) -> float:
     """Gini coefficient of the degree distribution (0 = uniform, 1 = maximally skewed)."""
-    degrees = np.sort(graph.degrees().astype(np.float64))
+    degrees = np.sort(graph.degrees().astype(np.float64), kind="stable")
     n = degrees.size
     if n == 0 or degrees.sum() == 0:
         return 0.0

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Iterator
@@ -29,22 +30,28 @@ from repro.harness.report import ExperimentResult, json_default
 from repro.obs import metrics
 
 _CODE_VERSION: str | None = None
+_CODE_VERSION_LOCK = threading.Lock()
 
 
 def source_tree_version() -> str:
     """Hash of every ``.py`` file of the installed ``repro`` package.
 
-    Computed once per process; any source edit changes the digest and thereby
-    invalidates all cache entries made with the previous code.
+    Computed once per process (double-checked lock: concurrent first calls
+    from harness threads race on the same deterministic digest); any source
+    edit changes the digest and thereby invalidates all cache entries made
+    with the previous code.
     """
     global _CODE_VERSION
     if _CODE_VERSION is None:
-        digest = hashlib.sha256()
-        package_root = Path(repro.__file__).resolve().parent
-        for path in sorted(package_root.rglob("*.py")):
-            digest.update(str(path.relative_to(package_root)).encode())
-            digest.update(path.read_bytes())
-        _CODE_VERSION = digest.hexdigest()[:16]
+        with _CODE_VERSION_LOCK:
+            if _CODE_VERSION is None:
+                digest = hashlib.sha256()
+                package_root = Path(repro.__file__).resolve().parent
+                for path in sorted(package_root.rglob("*.py")):
+                    digest.update(str(path.relative_to(package_root)).encode())
+                    digest.update(path.read_bytes())
+                # repro: allow(CONC001) per-process memo of a pure function of the source tree; every process computes the identical digest
+                _CODE_VERSION = digest.hexdigest()[:16]
     return _CODE_VERSION
 
 

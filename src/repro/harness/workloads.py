@@ -94,7 +94,7 @@ def get_bundle(name: str, config: ExperimentConfig) -> WorkloadBundle:
             plan=plan,
             plan_unpartitioned=plan_unpartitioned,
         )
-    _BUNDLE_CACHE[key] = bundle
+    _BUNDLE_CACHE[key] = bundle  # repro: allow(CONC001) per-process workload memo; workers rebuild bundles deterministically from the config
     return bundle
 
 

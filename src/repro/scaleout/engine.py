@@ -95,6 +95,7 @@ def get_shard_plan(
         with trace.span(
             "scaleout.shard_plan", dataset=dataset, chips=num_chips, method=method
         ):
+            # repro: allow(CONC001) per-process shard-plan memo; workers rebuild plans deterministically from (dataset, config, chips, method)
             _SHARD_CACHE[key] = build_shard_plan(
                 bundle.dataset.graph, bundle.plan, num_chips, method=method, seed=config.seed
             )

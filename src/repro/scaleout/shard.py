@@ -258,7 +258,9 @@ def build_shard_plan(
             if chip_of_cluster[cluster_id] == chip
         ]
         nodes = (
-            np.sort(np.concatenate(clusters)) if clusters else np.empty(0, dtype=np.int64)
+            np.sort(np.concatenate(clusters), kind="stable")
+            if clusters
+            else np.empty(0, dtype=np.int64)
         )
         if nodes.size:
             starts = adjacency.indptr[nodes]

@@ -533,7 +533,7 @@ def test_cli_json_report_schema(tmp_path, capsys):
     code = check_main(["--root", str(root), "--no-baseline", "--json"])
     assert code == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["ok"] is False
     assert payload["files_scanned"] == 1
     assert [f["rule"] for f in payload["findings"]] == ["DET001"]
@@ -561,7 +561,10 @@ def test_cli_actionable_error_for_bad_root(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert check_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("LAY001", "DET001", "KEY001", "POOL001", "EXC001"):
+    for rule_id in (
+        "LAY001", "DET001", "KEY001", "KEY003", "POOL001", "EXC001",
+        "CONC001", "CONC002", "CONC003", "VEC001", "VEC002", "VEC003",
+    ):
         assert rule_id in out
 
 
@@ -613,7 +616,7 @@ def test_cli_rules_selection_accepts_families_and_ids(tmp_path, capsys):
     ])
     assert code == 0  # the DET001 violation is out of scope for EXC/KEY
     payload = json.loads(capsys.readouterr().out)
-    assert payload["rules"] == ["EXC001", "EXC002", "KEY001", "KEY002"]
+    assert payload["rules"] == ["EXC001", "EXC002", "KEY001", "KEY002", "KEY003"]
 
 
 def test_select_rules_raises_keyerror_with_the_unknown_token():
@@ -633,10 +636,11 @@ def test_real_tree_is_clean_under_committed_baseline():
     report = run_check(REAL_ROOT, baseline_path=baseline)
     assert report.parse_errors == []
     assert report.findings == [], "\n".join(f.render() for f in report.findings)
-    # The deliberate wall-time metadata sites are suppressed inline, with
-    # reasons — none silently, none via the baseline.
+    # The deliberate wall-time metadata sites and the per-process memos
+    # are suppressed inline, with reasons — none silently, none via the
+    # baseline.
     assert report.reasonless_suppressions == []
-    assert {f.rule for f in report.suppressed} <= {"DET001"}
+    assert {f.rule for f in report.suppressed} <= {"DET001", "CONC001", "CONC002"}
     assert report.stale_baseline == []
 
 
@@ -659,12 +663,26 @@ def test_ci_gate_fails_on_a_fresh_violation(tmp_path, capsys):
         "api/request.py": FROZEN_LEAKY,
         "gcn/init.py": "from numpy.random import default_rng\nRNG = default_rng()\n",
         "sparse/ops.py": "def f():\n    try:\n        pass\n    except:\n        pass\n",
+        "sparse/vec.py": "import numpy as np\ndef order(x):\n    return np.argsort(x)\n",
+        "dse/fan.py": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "CACHE = {}\n"
+            "def work(x):\n"
+            "    CACHE[x] = x\n"
+            "    return x\n"
+            "def go():\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(work, 1)\n"
+        ),
     })
     code = check_main(["--root", str(root), "--no-baseline"])
     assert code == 1
     out = capsys.readouterr().out
     fired = {line.split(" ")[1] for line in out.splitlines() if ": " in line and " " in line}
-    for expected in ("DET001", "DET002", "LAY001", "LAY004", "POOL001", "KEY001", "EXC001"):
+    for expected in (
+        "DET001", "DET002", "LAY001", "LAY004", "POOL001", "KEY001",
+        "EXC001", "VEC001", "CONC001",
+    ):
         assert expected in out, f"{expected} did not fire on the broken tree"
 
 
@@ -684,15 +702,24 @@ def test_repro_check_verb_is_wired(tmp_path):
     assert payload["ok"] is True and payload["rules"] == ["LAY003"]
 
 
-def test_parse_error_fails_the_run(tmp_path, capsys):
+def test_parse_error_exits_2_and_still_checks_the_rest(tmp_path, capsys):
+    """An unparseable file is a configuration failure (exit 2, the file
+    named), not a finding — and every parseable module is still checked,
+    so its findings are reported in the same run."""
     root = make_tree(tmp_path, {
-        "core/ok.py": "X = 1\n",
+        "core/ok.py": "import time\nT = time.time()\n",
         "core/broken.py": "def f(:\n",
     })
     report = run_check(root)
     assert not report.ok
     assert len(report.parse_errors) == 1
-    assert check_main(["--root", str(root), "--no-baseline"]) == 1
+    assert "broken.py" in report.parse_errors[0]
+    # The parseable module was still analysed.
+    assert "DET001" in {f.rule for f in report.findings}
+    assert check_main(["--root", str(root), "--no-baseline"]) == 2
+    captured = capsys.readouterr()
+    assert "broken.py" in captured.err
+    assert "DET001" in captured.out
 
 
 def test_project_error_for_file_root(tmp_path):

@@ -65,6 +65,24 @@ def test_powerlaw_fit_exponent(community_graph):
     assert 1.2 < exponent < 4.0
 
 
+@pytest.mark.parametrize("name", ["cora", "citeseer", "pubmed", "flickr"])
+def test_negated_stable_sorts_are_bit_identical(name):
+    """The VEC002 rewrite (negated stable sort instead of
+    sort-then-reverse) must leave the Table I curves bit-identical —
+    descending *value* order is unique regardless of sort kind."""
+    from repro.graph.datasets import load_dataset
+
+    graph = load_dataset(name, num_nodes=300, seed=0).graph
+    degrees = graph.degrees()
+    np.testing.assert_array_equal(
+        degree_distribution(graph),
+        np.sort(degrees)[::-1].astype(np.int64),
+    )
+    for k in (1, 10, graph.num_nodes):
+        legacy = float(np.sort(degrees)[::-1][:k].sum()) / float(degrees.sum())
+        assert top_degree_edge_coverage(graph, k) == legacy
+
+
 def test_identity_reorder(tiny_graph):
     np.testing.assert_array_equal(identity_reorder(tiny_graph), np.arange(6))
 
